@@ -1,0 +1,66 @@
+// R-A3 (mitigation): SWIFT software hardening — SDC-to-DUE conversion and
+// its cost. For each hardenable workload: baseline vs hardened outcome
+// rates under IOV single-bit injection, plus static and dynamic overhead.
+#include "bench_util.h"
+
+#include "harden/swift.h"
+
+int main() {
+  using namespace gfi;
+  benchx::banner("R-A3",
+                 "SWIFT instruction duplication: detection coverage and "
+                 "overhead (A100)");
+  harden::register_hardened_workloads();
+
+  Table table("Baseline vs SWIFT-hardened (IOV single-bit)");
+  table.set_header({"workload", "variant", "SDC", "DUE", "Masked*",
+                    "dyn overhead", "injections"});
+
+  Table cost("Static transform cost");
+  cost.set_header({"workload", "orig instrs", "hardened", "duplicated",
+                   "checks", "static overhead"});
+
+  for (const std::string& name :
+       {std::string("saxpy"), std::string("gemm"), std::string("conv2d"),
+        std::string("scan"), std::string("spmv")}) {
+    auto inner = wl::make_workload(name);
+    harden::SwiftStats stats;
+    auto hardened_program = harden::swift_harden(inner->program(), &stats);
+    if (!hardened_program.is_ok()) continue;
+    cost.add_row({name, std::to_string(stats.original_instrs),
+                  std::to_string(stats.hardened_instrs),
+                  std::to_string(stats.duplicated),
+                  std::to_string(stats.checks),
+                  Table::fmt(stats.static_overhead(), 2) + "x"});
+
+    u64 base_dyn = 0;
+    for (const std::string& variant : {name, name + "_swift"}) {
+      auto config = benchx::base_config(variant, arch::a100());
+      auto result = benchx::must_run(config);
+      if (variant == name) base_dyn = result.golden_dyn_instrs;
+      const f64 masked = result.rate(fi::Outcome::kMasked) +
+                         result.rate(fi::Outcome::kMaskedTolerated) +
+                         result.rate(fi::Outcome::kNotActivated);
+      const f64 overhead =
+          base_dyn ? static_cast<f64>(result.golden_dyn_instrs) /
+                         static_cast<f64>(base_dyn)
+                   : 1.0;
+      table.add_row({name, variant == name ? "baseline" : "SWIFT",
+                     analysis::rate_cell(result, fi::Outcome::kSdc),
+                     analysis::rate_cell(result, fi::Outcome::kDue),
+                     Table::pct(masked), Table::fmt(overhead, 2) + "x",
+                     std::to_string(result.records.size())});
+    }
+  }
+  benchx::emit(table, "r_a3_swift");
+  benchx::emit(cost, "r_a3_swift_cost");
+
+  std::printf(
+      "Expected shape: hardening slashes SDC and converts it into DUEs at\n"
+      "the pre-store checks, at roughly 2-3x dynamic overhead — the classic\n"
+      "SWIFT trade. The residual SDCs are the known sphere-of-replication\n"
+      "holes: faults striking a value at its entry point (a load result\n"
+      "before the shadow copy executes) are duplicated consistently into\n"
+      "both copies, and unprotected predicates/control remain exposed.\n");
+  return 0;
+}

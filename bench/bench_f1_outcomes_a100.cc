@@ -1,0 +1,18 @@
+// R-F1: outcome distribution (Masked/SDC/DUE/Hang/...) per workload under
+// IOV single-bit injection on the A100 model.
+#include "bench_util.h"
+
+int main() {
+  using namespace gfi;
+  benchx::banner("R-F1",
+                 "Outcome distribution per workload — A100, IOV single-bit");
+
+  Table table("A100 outcome distribution (95% Wilson CI)");
+  table.set_header(analysis::outcome_header());
+  for (const std::string& name : benchx::suite()) {
+    auto result = benchx::must_run(benchx::base_config(name, arch::a100()));
+    table.add_row(analysis::outcome_row(name, result));
+  }
+  benchx::emit(table, "r_f1_outcomes_a100");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// R-F8: error-detection latency — for DUE outcomes, how many dynamic warp
+// instructions elapse between the strike and the trap. Short latencies mean
+// cheap containment; long ones bound how stale a checkpoint can be.
+#include "bench_util.h"
+
+#include <cmath>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+
+int main() {
+  using namespace gfi;
+  benchx::banner("R-F8",
+                 "DUE detection latency (dynamic warp instrs from strike to "
+                 "trap), A100");
+
+  Table table("Detection-latency percentiles per workload (IOV single-bit)");
+  table.set_header({"workload", "#DUE", "p10", "p50", "p90", "max"});
+
+  Histogram pooled(0.0, 6.0, 12);  // log10(latency+1)
+  for (const std::string& workload :
+       {std::string("gemm"), std::string("spmv"), std::string("bitonic_sort"),
+        std::string("softmax"), std::string("stencil")}) {
+    auto config = benchx::base_config(workload, arch::a100());
+    config.num_injections = std::max<std::size_t>(benchx::injections(), 300);
+    auto result = benchx::must_run(config);
+
+    std::vector<f64> latencies;
+    for (const auto& record : result.records) {
+      if (record.outcome != fi::Outcome::kDue || !record.effect.activated) {
+        continue;
+      }
+      // dyn_instrs at abort minus the strike index = instructions the
+      // corruption stayed latent.
+      if (record.dyn_instrs < record.effect.struck_dyn_index) continue;
+      const f64 latency = static_cast<f64>(record.dyn_instrs -
+                                           record.effect.struck_dyn_index);
+      latencies.push_back(latency);
+      pooled.add(std::log10(latency + 1.0));
+    }
+    if (latencies.empty()) continue;
+    table.add_row({workload, std::to_string(latencies.size()),
+                   Table::fmt(stats::percentile(latencies, 10), 0),
+                   Table::fmt(stats::percentile(latencies, 50), 0),
+                   Table::fmt(stats::percentile(latencies, 90), 0),
+                   Table::fmt(stats::percentile(latencies, 100), 0)});
+  }
+  benchx::emit(table, "r_f8_latency");
+
+  std::printf("Pooled log10(latency+1) histogram:\n%s\n",
+              pooled.to_ascii(40).c_str());
+  std::printf(
+      "Expected shape: most address-corruption DUEs fire within a handful\n"
+      "of instructions (the very next memory access consumes the bad\n"
+      "address); the tail comes from values parked in registers across\n"
+      "loop iterations before being used for addressing.\n");
+  return 0;
+}

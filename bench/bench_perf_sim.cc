@@ -1,0 +1,86 @@
+// Performance microbenchmarks of the framework itself (google-benchmark):
+// simulator instruction throughput, launch overhead, SECDED codec, and
+// end-to-end injection-run throughput. These gate how large a campaign is
+// practical per CPU core.
+#include <benchmark/benchmark.h>
+
+#include "arch/arch.h"
+#include "ecc/secded.h"
+#include "fi/campaign.h"
+#include "sassim/device.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace gfi;
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  auto workload = wl::make_workload("gemm");
+  sim::Device device(arch::a100());
+  auto spec = workload->setup(device);
+  u64 instrs = 0;
+  for (auto _ : state) {
+    auto launch = device.launch(workload->program(), spec.value().grid,
+                                spec.value().block, spec.value().params);
+    instrs += launch.value().dyn_warp_instrs;
+  }
+  state.counters["warp_instr/s"] = benchmark::Counter(
+      static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_LaunchOverhead(benchmark::State& state) {
+  // Smallest possible kernel: measures per-launch fixed cost.
+  auto workload = wl::make_workload("vecadd");
+  sim::Device device(arch::a100());
+  auto spec = workload->setup(device);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.launch(workload->program(),
+                                           spec.value().grid,
+                                           spec.value().block,
+                                           spec.value().params));
+  }
+}
+BENCHMARK(BM_LaunchOverhead)->Unit(benchmark::kMicrosecond);
+
+void BM_SecdedEncodeDecode(benchmark::State& state) {
+  u64 data = 0x0123456789ABCDEFULL;
+  for (auto _ : state) {
+    const auto word = ecc::encode(data);
+    benchmark::DoNotOptimize(ecc::decode(word));
+    data = data * 6364136223846793005ULL + 1;
+  }
+}
+BENCHMARK(BM_SecdedEncodeDecode);
+
+void BM_InjectionRun(benchmark::State& state) {
+  fi::CampaignConfig config;
+  config.workload = "saxpy";
+  config.machine = arch::a100();
+  auto golden = fi::Campaign::golden_run(config);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fi::Campaign::run_single(
+        config, golden.value().profile, golden.value().dyn_instrs, index++));
+  }
+  state.counters["runs/s"] =
+      benchmark::Counter(static_cast<double>(index),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InjectionRun)->Unit(benchmark::kMillisecond);
+
+void BM_WorkloadGoldenCheck(benchmark::State& state) {
+  for (auto _ : state) {
+    auto workload = wl::make_workload("conv2d");
+    sim::Device device(arch::a100());
+    auto spec = workload->setup(device);
+    (void)device.launch(workload->program(), spec.value().grid,
+                        spec.value().block, spec.value().params);
+    benchmark::DoNotOptimize(workload->check(device));
+  }
+}
+BENCHMARK(BM_WorkloadGoldenCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

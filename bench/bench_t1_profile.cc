@@ -1,0 +1,22 @@
+// R-T1: dynamic opcode-group mix per workload (the profiling table).
+#include "bench_util.h"
+
+int main() {
+  using namespace gfi;
+  benchx::banner("R-T1", "Dynamic instruction mix per workload (A100 model)");
+
+  Table table("Per-group share of dynamic warp instructions");
+  table.set_header(analysis::profile_header());
+  for (const std::string& name : benchx::suite()) {
+    auto config = benchx::base_config(name, arch::a100());
+    auto golden = fi::Campaign::golden_run(config);
+    if (!golden.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   golden.status().to_string().c_str());
+      return 1;
+    }
+    table.add_row(analysis::profile_row(name, golden.value().profile));
+  }
+  benchx::emit(table, "r_t1_profile");
+  return 0;
+}

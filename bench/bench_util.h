@@ -1,0 +1,75 @@
+// Shared helpers for the evaluation-reproduction bench binaries.
+//
+// Each binary regenerates one table/figure of the reconstructed evaluation
+// plan (see DESIGN.md): it runs the campaigns it needs, prints the rows as
+// an aligned ASCII table, and writes a CSV next to the working directory.
+//
+// GFI_INJECTIONS=<n> scales every campaign's injection count (default 300)
+// so the suite can be run quickly (100) or to tighter CIs (2000).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "arch/arch.h"
+#include "common/table.h"
+#include "fi/campaign.h"
+#include "workloads/workload.h"
+
+namespace gfi::benchx {
+
+/// Injection count per campaign, overridable via GFI_INJECTIONS.
+inline std::size_t injections() {
+  if (const char* env = std::getenv("GFI_INJECTIONS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 300;
+}
+
+/// Runs a campaign, aborting the bench with a message on harness errors.
+inline fi::CampaignResult must_run(fi::CampaignConfig config) {
+  auto result = fi::Campaign::run(config);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "campaign '%s' failed: %s\n",
+                 config.workload.c_str(),
+                 result.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(result).take();
+}
+
+/// Baseline campaign config: IOV single-bit, seeded, sized by injections().
+inline fi::CampaignConfig base_config(const std::string& workload,
+                                      const sim::MachineConfig& machine) {
+  fi::CampaignConfig config;
+  config.workload = workload;
+  config.machine = machine;
+  config.model = {fi::InjectionMode::kIov, fi::BitFlipModel::kSingle};
+  config.num_injections = injections();
+  config.seed = 0xD0E5;
+  return config;
+}
+
+/// The workloads every per-workload table iterates, in reporting order.
+inline std::vector<std::string> suite() { return wl::workload_names(); }
+
+/// Prints the experiment banner.
+inline void banner(const char* exp_id, const char* title) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", exp_id, title);
+  std::printf("(simulated GPUs; shapes comparable to the paper, absolute numbers are not)\n");
+  std::printf("==================================================================\n\n");
+}
+
+/// Prints the table and also writes `<csv_name>.csv` in the working dir.
+inline void emit(Table& table, const std::string& csv_name) {
+  table.print();
+  std::printf("\n");
+  (void)table.write_csv(csv_name + ".csv");
+}
+
+}  // namespace gfi::benchx

@@ -1,0 +1,46 @@
+// Quickstart: run one fault-injection campaign — 200 single-bit IOV
+// injections into the saxpy kernel on a simulated A100 — and print the
+// outcome distribution.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "arch/arch.h"
+#include "common/table.h"
+#include "fi/campaign.h"
+
+int main() {
+  using namespace gfi;
+
+  fi::CampaignConfig config;
+  config.workload = "saxpy";
+  config.machine = arch::a100();
+  config.model = {fi::InjectionMode::kIov, fi::BitFlipModel::kSingle};
+  config.num_injections = 200;
+  config.seed = 42;
+
+  auto result = fi::Campaign::run(config);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  const fi::CampaignResult& campaign = result.value();
+
+  std::printf("workload: %s on %s — %zu IOV single-bit injections\n",
+              config.workload.c_str(), config.machine.name.c_str(),
+              campaign.records.size());
+  std::printf("golden run: %llu dynamic warp instructions, %llu cycles\n\n",
+              static_cast<unsigned long long>(campaign.golden_dyn_instrs),
+              static_cast<unsigned long long>(campaign.golden_cycles));
+
+  Table table("Outcome distribution (95% CI)");
+  table.set_header(analysis::outcome_header());
+  table.add_row(analysis::outcome_row(config.workload, campaign));
+  table.print();
+
+  std::printf("\nuncorrected failure rate (SDC+DUE+Hang): %.2f%%\n",
+              analysis::uncorrected_failure_rate(campaign) * 100.0);
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "analysis/compare.h"
+
+#include <cmath>
+
+namespace gfi::analysis {
+namespace {
+
+/// Standard normal CDF.
+f64 phi(f64 x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+ProportionTest two_proportion_z(u64 successes1, u64 n1, u64 successes2,
+                                u64 n2) {
+  ProportionTest test;
+  if (n1 == 0 || n2 == 0) return test;
+  test.p1 = static_cast<f64>(successes1) / static_cast<f64>(n1);
+  test.p2 = static_cast<f64>(successes2) / static_cast<f64>(n2);
+  const f64 pooled = static_cast<f64>(successes1 + successes2) /
+                     static_cast<f64>(n1 + n2);
+  const f64 se = std::sqrt(pooled * (1.0 - pooled) *
+                           (1.0 / static_cast<f64>(n1) +
+                            1.0 / static_cast<f64>(n2)));
+  if (se == 0.0) {
+    test.z = 0.0;
+    test.p_value = 1.0;
+    return test;
+  }
+  test.z = (test.p1 - test.p2) / se;
+  test.p_value = 2.0 * (1.0 - phi(std::abs(test.z)));
+  return test;
+}
+
+ProportionTest compare_outcome(const fi::CampaignResult& a,
+                               const fi::CampaignResult& b,
+                               fi::Outcome outcome) {
+  return two_proportion_z(a.count(outcome), a.records.size(),
+                          b.count(outcome), b.records.size());
+}
+
+f64 composed_rate(const sim::Profile& profile, const GroupRates& rates) {
+  if (profile.total_warp_instrs == 0) return 0.0;
+  f64 weighted = 0.0;
+  u64 covered = 0;
+  for (int g = 0; g < sim::kInstrGroupCount; ++g) {
+    if (!rates.known[g]) continue;
+    weighted += rates.rate[g] *
+                static_cast<f64>(profile.warp_instrs_by_group[g]);
+    covered += profile.warp_instrs_by_group[g];
+  }
+  if (covered == 0) return 0.0;
+  // Normalize over the covered population: the estimate answers "given a
+  // fault lands in a covered group, what is the outcome rate".
+  return weighted / static_cast<f64>(covered);
+}
+
+}  // namespace gfi::analysis

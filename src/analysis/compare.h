@@ -1,0 +1,54 @@
+// Statistical comparison of campaigns: two-proportion z-tests (is the
+// H100's SDC rate really different from the A100's, or within noise?) and
+// composed AVF estimation (per-group rates x dynamic mix vs direct
+// measurement — the SASSIFI cross-check).
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+#include "fi/campaign.h"
+#include "sassim/profiler.h"
+
+namespace gfi::analysis {
+
+/// Result of a two-proportion z-test.
+struct ProportionTest {
+  f64 p1 = 0.0;
+  f64 p2 = 0.0;
+  f64 z = 0.0;        ///< signed z statistic (p1 - p2)
+  f64 p_value = 1.0;  ///< two-sided
+
+  [[nodiscard]] bool significant(f64 alpha = 0.05) const {
+    return p_value < alpha;
+  }
+};
+
+/// Pooled two-proportion z-test for successes1/n1 vs successes2/n2.
+ProportionTest two_proportion_z(u64 successes1, u64 n1, u64 successes2,
+                                u64 n2);
+
+/// Compares one outcome's rate between two campaigns.
+ProportionTest compare_outcome(const fi::CampaignResult& a,
+                               const fi::CampaignResult& b,
+                               fi::Outcome outcome);
+
+/// Per-instruction-group outcome rates (e.g. measured by group-filtered
+/// campaigns), used to compose a program-level estimate.
+struct GroupRates {
+  std::array<f64, sim::kInstrGroupCount> rate{};
+  std::array<bool, sim::kInstrGroupCount> known{};
+
+  void set(sim::InstrGroup group, f64 value) {
+    rate[static_cast<int>(group)] = value;
+    known[static_cast<int>(group)] = true;
+  }
+};
+
+/// Composes a program-level rate from per-group rates weighted by the
+/// program's dynamic warp-instruction mix (groups with unknown rates
+/// contribute zero). This is the "AVF from per-group vulnerabilities"
+/// estimate that should track the directly measured unfiltered rate.
+f64 composed_rate(const sim::Profile& profile, const GroupRates& rates);
+
+}  // namespace gfi::analysis

@@ -1,0 +1,102 @@
+#include "analysis/report.h"
+
+#include <cstdio>
+
+#include "sassim/xid.h"
+
+namespace gfi::analysis {
+
+const std::vector<fi::Outcome>& reported_outcomes() {
+  static const std::vector<fi::Outcome> kOutcomes = {
+      fi::Outcome::kMasked,  fi::Outcome::kMaskedTolerated,
+      fi::Outcome::kSdc,     fi::Outcome::kDue,
+      fi::Outcome::kHang,    fi::Outcome::kDetectedCorrected,
+      fi::Outcome::kNotActivated,
+  };
+  return kOutcomes;
+}
+
+std::string rate_cell(const fi::CampaignResult& result, fi::Outcome outcome) {
+  const f64 rate = result.rate(outcome);
+  const auto ci = result.rate_interval(outcome);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%5.2f%% ±%.2f", rate * 100.0,
+                ci.half_width() * 100.0);
+  return buffer;
+}
+
+std::vector<std::string> outcome_header() {
+  std::vector<std::string> header = {"workload"};
+  for (fi::Outcome outcome : reported_outcomes()) {
+    header.emplace_back(fi::to_string(outcome));
+  }
+  header.emplace_back("injections");
+  return header;
+}
+
+std::vector<std::string> outcome_row(const std::string& label,
+                                     const fi::CampaignResult& result) {
+  std::vector<std::string> row = {label};
+  for (fi::Outcome outcome : reported_outcomes()) {
+    row.push_back(rate_cell(result, outcome));
+  }
+  row.push_back(std::to_string(result.records.size()));
+  return row;
+}
+
+std::vector<std::string> profile_header() {
+  std::vector<std::string> header = {"workload", "warp instrs"};
+  for (int g = 0; g < sim::kInstrGroupCount; ++g) {
+    header.emplace_back(sim::group_name(static_cast<sim::InstrGroup>(g)));
+  }
+  return header;
+}
+
+std::vector<std::string> profile_row(const std::string& label,
+                                     const sim::Profile& profile) {
+  std::vector<std::string> row = {label,
+                                  std::to_string(profile.total_warp_instrs)};
+  for (int g = 0; g < sim::kInstrGroupCount; ++g) {
+    const f64 share =
+        profile.total_warp_instrs
+            ? static_cast<f64>(profile.warp_instrs_by_group[g]) /
+                  static_cast<f64>(profile.total_warp_instrs)
+            : 0.0;
+    row.push_back(Table::pct(share, 1));
+  }
+  return row;
+}
+
+f64 uncorrected_failure_rate(const fi::CampaignResult& result) {
+  return result.rate(fi::Outcome::kSdc) + result.rate(fi::Outcome::kDue) +
+         result.rate(fi::Outcome::kHang);
+}
+
+Status write_records_csv(const fi::CampaignResult& result,
+                         const std::string& path) {
+  Table table;
+  table.set_header({"run", "outcome", "mode", "flip", "group", "occurrence",
+                    "activated", "struck_opcode", "struck_lane", "trap",
+                    "xid", "error_magnitude", "dyn_instrs"});
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    const fi::InjectionRecord& record = result.records[i];
+    table.add_row({
+        std::to_string(i),
+        fi::to_string(record.outcome),
+        fi::to_string(record.site.model.mode),
+        fi::to_string(record.site.model.flip),
+        record.site.group ? sim::group_name(*record.site.group) : "-",
+        std::to_string(record.site.target_occurrence),
+        record.effect.activated ? "1" : "0",
+        sim::opcode_name(record.effect.struck_opcode),
+        std::to_string(record.effect.struck_lane),
+        sim::trap_kind_name(record.trap),
+        std::to_string(sim::xid_for_trap(record.trap)),
+        Table::fmt(record.error_magnitude, 6),
+        std::to_string(record.dyn_instrs),
+    });
+  }
+  return table.write_csv(path);
+}
+
+}  // namespace gfi::analysis

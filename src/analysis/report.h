@@ -1,0 +1,43 @@
+// Reporting helpers: turn campaign results into the tables and series the
+// bench binaries print (outcome distributions, per-group AVF, cross-arch
+// comparisons, profiles).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "fi/campaign.h"
+
+namespace gfi::analysis {
+
+/// The outcome columns every distribution table reports, in order.
+const std::vector<fi::Outcome>& reported_outcomes();
+
+/// One row of an outcome-distribution table: workload name + one percentage
+/// cell per outcome (with 95% CI half-width) + injection count.
+std::vector<std::string> outcome_row(const std::string& label,
+                                     const fi::CampaignResult& result);
+
+/// Header matching outcome_row.
+std::vector<std::string> outcome_header();
+
+/// Formats "12.3% ±1.9" for an outcome of a campaign.
+std::string rate_cell(const fi::CampaignResult& result, fi::Outcome outcome);
+
+/// Dynamic-instruction mix table row for a profile: per-group percentage of
+/// warp instructions.
+std::vector<std::string> profile_row(const std::string& label,
+                                     const sim::Profile& profile);
+std::vector<std::string> profile_header();
+
+/// Architectural Vulnerability Factor estimate for a campaign: fraction of
+/// injections whose outcome corrupts or kills the program (SDC+DUE+Hang).
+f64 uncorrected_failure_rate(const fi::CampaignResult& result);
+
+/// Writes one CSV row per injection record (outcome, struck site, trap,
+/// XID, error magnitude) — the raw-data export for external analysis.
+Status write_records_csv(const fi::CampaignResult& result,
+                         const std::string& path);
+
+}  // namespace gfi::analysis

@@ -1,0 +1,93 @@
+#include "arch/arch.h"
+
+namespace gfi::arch {
+
+sim::MachineConfig toy() {
+  sim::MachineConfig config;
+  config.name = "toy";
+  config.num_sms = 2;
+  config.max_warps_per_sm = 16;
+  config.max_ctas_per_sm = 8;
+  config.regfile_words_per_sm = 16384;
+  config.shared_bytes_per_sm = 32768;
+  config.issue_width = 2;
+  config.global_mem_bytes = 256ULL << 20;
+  config.l2_bytes = 1u << 20;
+  config.mem_latency_cycles = 20;
+  config.sm_clock_ghz = 1.0;
+  return config;
+}
+
+sim::MachineConfig a100() {
+  sim::MachineConfig config;
+  config.name = "A100";
+  config.num_sms = 108;
+  config.max_warps_per_sm = 64;
+  config.max_ctas_per_sm = 32;
+  config.regfile_words_per_sm = 65536;  // 256 KiB per SM
+  config.shared_bytes_per_sm = 164 * 1024;
+  config.issue_width = 4;
+  // The real device has 40 GB HBM2e; the simulated arena is capped so
+  // campaigns stay memory-light. Workloads fit far below this.
+  config.global_mem_bytes = 2ULL << 30;
+  config.l2_bytes = 40u << 20;
+  config.mem_latency_cycles = 44;  // HBM2e round-trip, in SM cycles (scaled)
+  config.shared_latency_cycles = 8;
+  config.sm_clock_ghz = 1.41;
+  config.dram_ecc = ecc::EccMode::kSecded;
+  config.rf_ecc = ecc::EccMode::kSecded;
+  config.tensor_core_tf32 = true;
+  return config;
+}
+
+sim::MachineConfig h100() {
+  sim::MachineConfig config;
+  config.name = "H100";
+  config.num_sms = 132;
+  config.max_warps_per_sm = 64;
+  config.max_ctas_per_sm = 32;
+  config.regfile_words_per_sm = 65536;  // 256 KiB per SM
+  config.shared_bytes_per_sm = 228 * 1024;
+  config.issue_width = 4;
+  config.global_mem_bytes = 2ULL << 30;
+  config.l2_bytes = 50u << 20;
+  config.mem_latency_cycles = 36;  // HBM3 + larger L2: lower effective latency
+  config.shared_latency_cycles = 7;
+  config.sm_clock_ghz = 1.98;
+  config.dram_ecc = ecc::EccMode::kSecded;
+  config.rf_ecc = ecc::EccMode::kSecded;
+  config.tensor_core_tf32 = true;
+  // Hopper's FP64 pipeline is 2x Ampere's per SM; reflect it in latency.
+  config.latencies.set(sim::Opcode::kHmma, 6);  // 4th-gen tensor core
+  return config;
+}
+
+sim::MachineConfig config_for(GpuModel model) {
+  switch (model) {
+    case GpuModel::kToy:
+      return toy();
+    case GpuModel::kA100:
+      return a100();
+    case GpuModel::kH100:
+      return h100();
+  }
+  return toy();
+}
+
+const char* model_name(GpuModel model) {
+  switch (model) {
+    case GpuModel::kToy:
+      return "toy";
+    case GpuModel::kA100:
+      return "A100";
+    case GpuModel::kH100:
+      return "H100";
+  }
+  return "?";
+}
+
+std::vector<GpuModel> study_models() {
+  return {GpuModel::kA100, GpuModel::kH100};
+}
+
+}  // namespace gfi::arch

@@ -1,0 +1,37 @@
+// Machine-model presets: NVIDIA Ampere A100 (GA100) and Hopper H100 (GH100),
+// plus a tiny "toy" config for fast unit tests.
+//
+// Parameter sources: the A100 and H100 whitepapers (SM counts, register
+// file, shared memory, L2, clocks) — scaled where noted so simulation stays
+// laptop-tractable. Resilience-relevant parameters (ECC coverage, tensor
+// core input rounding) follow the public architecture documentation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sassim/machine_config.h"
+
+namespace gfi::arch {
+
+enum class GpuModel { kToy, kA100, kH100 };
+
+/// 2-SM miniature GPU for unit tests (fast, same semantics).
+sim::MachineConfig toy();
+
+/// NVIDIA A100 (GA100, Ampere): 108 SMs, 1.41 GHz, 40 MB L2,
+/// SECDED ECC on RF/L2/DRAM, 3rd-gen tensor cores (TF32 inputs).
+sim::MachineConfig a100();
+
+/// NVIDIA H100 (GH100, Hopper): 132 SMs, 1.98 GHz, 50 MB L2,
+/// SECDED ECC on RF/L2/DRAM, 4th-gen tensor cores (TF32 inputs),
+/// lower effective memory latency (HBM3 + larger L2).
+sim::MachineConfig h100();
+
+sim::MachineConfig config_for(GpuModel model);
+const char* model_name(GpuModel model);
+
+/// The two GPUs of the study, in reporting order.
+std::vector<GpuModel> study_models();
+
+}  // namespace gfi::arch

@@ -1,0 +1,50 @@
+// Bit-manipulation helpers shared by the ECC codec and the fault injector.
+#pragma once
+
+#include <bit>
+#include <cstring>
+
+#include "common/types.h"
+
+namespace gfi {
+
+/// Flips bit `bit` (0 = LSB) of a 32-bit word.
+constexpr u32 flip_bit32(u32 value, u32 bit) { return value ^ (1u << (bit & 31)); }
+
+/// Flips bit `bit` (0 = LSB) of a 64-bit word.
+constexpr u64 flip_bit64(u64 value, u32 bit) {
+  return value ^ (1ULL << (bit & 63));
+}
+
+/// Extracts bit `bit` of a 64-bit word as 0/1.
+constexpr u32 get_bit64(u64 value, u32 bit) {
+  return static_cast<u32>((value >> (bit & 63)) & 1u);
+}
+
+/// Number of set bits.
+constexpr int popcount64(u64 value) { return std::popcount(value); }
+
+/// Bit-reinterprets float <-> u32 and double <-> u64 (no UB).
+inline u32 f32_bits(f32 v) { return std::bit_cast<u32>(v); }
+inline f32 bits_f32(u32 b) { return std::bit_cast<f32>(b); }
+inline u64 f64_bits(f64 v) { return std::bit_cast<u64>(v); }
+inline f64 bits_f64(u64 b) { return std::bit_cast<f64>(b); }
+
+/// Splits a 64-bit value into (lo, hi) 32-bit halves and back.
+constexpr u32 lo32(u64 v) { return static_cast<u32>(v); }
+constexpr u32 hi32(u64 v) { return static_cast<u32>(v >> 32); }
+constexpr u64 make64(u32 lo, u32 hi) {
+  return static_cast<u64>(hi) << 32 | lo;
+}
+
+/// TF32 rounding: truncates an FP32 mantissa to 10 explicit bits, the input
+/// precision of Ampere/Hopper tensor cores in TF32 mode.
+inline f32 to_tf32(f32 v) {
+  // Round-to-nearest-even on the 13 dropped mantissa bits.
+  u32 bits = f32_bits(v);
+  const u32 round = ((bits >> 13) & 1u) + 0x0fffu;
+  bits = (bits + round) & ~0x1fffu;
+  return bits_f32(bits);
+}
+
+}  // namespace gfi

@@ -1,0 +1,44 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace gfi {
+
+Histogram::Histogram(f64 lo, f64 hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0.0) {}
+
+void Histogram::add(f64 value, f64 weight) {
+  const f64 span = hi_ - lo_;
+  auto bin = static_cast<std::ptrdiff_t>((value - lo_) / span *
+                                         static_cast<f64>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+f64 Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<f64>(bin) / static_cast<f64>(counts_.size());
+}
+
+f64 Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::string Histogram::to_ascii(std::size_t width) const {
+  const f64 max_count = *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "[%9.3g, %9.3g)", bin_lo(b), bin_hi(b));
+    std::size_t bar = 0;
+    if (max_count > 0) {
+      bar = static_cast<std::size_t>(counts_[b] / max_count *
+                                     static_cast<f64>(width));
+    }
+    out << label << " " << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gfi

@@ -1,0 +1,35 @@
+// Fixed-bin histogram with ASCII bar rendering, used for figure-style
+// benches (bit-position sensitivity, SDC severity distributions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gfi {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); values outside are clamped to edge bins.
+  Histogram(f64 lo, f64 hi, std::size_t bins);
+
+  void add(f64 value, f64 weight = 1.0);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] f64 bin_lo(std::size_t bin) const;
+  [[nodiscard]] f64 bin_hi(std::size_t bin) const;
+  [[nodiscard]] f64 count(std::size_t bin) const { return counts_[bin]; }
+  [[nodiscard]] f64 total() const { return total_; }
+
+  /// ASCII bar chart, one line per bin, bars scaled to `width` characters.
+  [[nodiscard]] std::string to_ascii(std::size_t width = 50) const;
+
+ private:
+  f64 lo_;
+  f64 hi_;
+  std::vector<f64> counts_;
+  f64 total_ = 0.0;
+};
+
+}  // namespace gfi

@@ -1,0 +1,43 @@
+// Minimal leveled logger. Campaign workers log through this so output from
+// parallel injections does not interleave mid-line.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gfi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Thread-safe write of one formatted line to stderr.
+void log_line(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style one-shot logger: destructor emits the accumulated line.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gfi
+
+#define GFI_LOG(level) ::gfi::internal::LogMessage(::gfi::LogLevel::level)

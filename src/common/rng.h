@@ -1,0 +1,95 @@
+// Deterministic, splittable PRNG used everywhere randomness is needed.
+//
+// Fault-injection campaigns must be exactly reproducible: run i of a campaign
+// derives its stream from (campaign_seed, i) via SplitMix64 so any single
+// injection can be replayed in isolation. The core generator is xoshiro256**,
+// which is fast and has 256 bits of state.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace gfi {
+
+/// SplitMix64 step; used for seeding and for hashing (seed, index) pairs.
+constexpr u64 splitmix64(u64& state) {
+  u64 z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = u64;
+
+  explicit Rng(u64 seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  /// Deterministically derives an independent stream for (seed, stream_id).
+  static Rng for_stream(u64 seed, u64 stream_id) {
+    u64 mix = seed;
+    (void)splitmix64(mix);
+    mix ^= 0x9e3779b97f4a7c15ULL * (stream_id + 1);
+    return Rng(mix);
+  }
+
+  void reseed(u64 seed) {
+    u64 sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  u64 operator()() { return next(); }
+
+  u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  u64 next_below(u64 bound) {
+    // Debiased multiply-shift (Lemire). Good enough for campaign sampling.
+    while (true) {
+      const u64 x = next();
+      const unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+      const u64 low = static_cast<u64>(m);
+      if (low >= bound || low >= (-bound) % bound) {
+        return static_cast<u64>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform u32.
+  u32 next_u32() { return static_cast<u32>(next() >> 32); }
+
+  /// Uniform double in [0, 1).
+  f64 next_double() { return static_cast<f64>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [lo, hi).
+  f32 next_float(f32 lo, f32 hi) {
+    return lo + static_cast<f32>(next_double()) * (hi - lo);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool next_bool(f64 p = 0.5) { return next_double() < p; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  u64 state_[4] = {};
+};
+
+}  // namespace gfi

@@ -1,0 +1,81 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gfi::stats {
+
+void RunningStats::add(f64 x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const f64 delta = x - mean_;
+  mean_ += delta / static_cast<f64>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+f64 RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<f64>(count_ - 1);
+}
+
+f64 RunningStats::stddev() const { return std::sqrt(variance()); }
+
+f64 z_for_confidence(f64 confidence) {
+  if (confidence >= 0.989) return 2.5758;
+  if (confidence >= 0.949) return 1.9600;
+  if (confidence >= 0.899) return 1.6449;
+  return 1.9600;  // default to 95%
+}
+
+Interval wald_interval(std::size_t successes, std::size_t trials,
+                       f64 confidence) {
+  if (trials == 0) return {0.0, 1.0};
+  const f64 n = static_cast<f64>(trials);
+  const f64 p = static_cast<f64>(successes) / n;
+  const f64 z = z_for_confidence(confidence);
+  const f64 half = z * std::sqrt(p * (1.0 - p) / n);
+  return {std::max(0.0, p - half), std::min(1.0, p + half)};
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials,
+                         f64 confidence) {
+  if (trials == 0) return {0.0, 1.0};
+  const f64 n = static_cast<f64>(trials);
+  const f64 p = static_cast<f64>(successes) / n;
+  const f64 z = z_for_confidence(confidence);
+  const f64 z2 = z * z;
+  const f64 denom = 1.0 + z2 / n;
+  const f64 center = (p + z2 / (2.0 * n)) / denom;
+  const f64 half =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+std::size_t required_sample_size(u64 population, f64 margin, f64 confidence,
+                                 f64 p) {
+  if (population == 0) return 0;
+  const f64 big_n = static_cast<f64>(population);
+  const f64 z = z_for_confidence(confidence);
+  const f64 numer = big_n;
+  const f64 denom = 1.0 + margin * margin * (big_n - 1.0) / (z * z * p * (1.0 - p));
+  const f64 n = numer / denom;
+  return static_cast<std::size_t>(std::ceil(n));
+}
+
+f64 percentile(std::vector<f64> values, f64 pct) {
+  if (values.empty()) return std::numeric_limits<f64>::quiet_NaN();
+  std::sort(values.begin(), values.end());
+  const f64 rank = pct / 100.0 * static_cast<f64>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const f64 frac = rank - static_cast<f64>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace gfi::stats

@@ -1,0 +1,63 @@
+// Statistics used by fault-injection campaigns: running moments, binomial
+// confidence intervals, and the SASSIFI-style sample-size planner.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gfi::stats {
+
+/// Welford running mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(f64 x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] f64 mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] f64 variance() const;
+  [[nodiscard]] f64 stddev() const;
+  [[nodiscard]] f64 min() const { return min_; }
+  [[nodiscard]] f64 max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  f64 mean_ = 0.0;
+  f64 m2_ = 0.0;
+  f64 min_ = 0.0;
+  f64 max_ = 0.0;
+};
+
+/// A two-sided confidence interval [lo, hi] around a proportion.
+struct Interval {
+  f64 lo = 0.0;
+  f64 hi = 0.0;
+  [[nodiscard]] f64 half_width() const { return (hi - lo) / 2.0; }
+};
+
+/// z-score for a two-sided confidence level (supported: 0.90, 0.95, 0.99).
+f64 z_for_confidence(f64 confidence);
+
+/// Normal-approximation (Wald) CI for successes/trials.
+Interval wald_interval(std::size_t successes, std::size_t trials,
+                       f64 confidence = 0.95);
+
+/// Wilson score CI — well-behaved at p near 0 or 1, which fault-injection
+/// rates routinely are (e.g. SDC rates below 1%).
+Interval wilson_interval(std::size_t successes, std::size_t trials,
+                         f64 confidence = 0.95);
+
+/// Sample-size planner from Leveugle et al. (DATE'09), the formula SASSIFI
+/// and NVBitFI cite to justify ~1000-2000 injections per campaign:
+///   n = N / (1 + e^2 * (N - 1) / (z^2 * p * (1 - p)))
+/// `population` is the total number of fault sites, `margin` the desired CI
+/// half-width, and `p` the (worst-case 0.5) expected proportion.
+std::size_t required_sample_size(u64 population, f64 margin,
+                                 f64 confidence = 0.95, f64 p = 0.5);
+
+/// Percentile of a sample (linear interpolation); sorts a copy.
+f64 percentile(std::vector<f64> values, f64 pct);
+
+}  // namespace gfi::stats

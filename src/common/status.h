@@ -1,0 +1,82 @@
+// Lightweight Status / Result error-handling types (no exceptions on hot
+// paths; simulator traps are modeled as data, not C++ exceptions).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gfi {
+
+/// Broad machine-readable failure categories.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
+const char* status_code_name(StatusCode code);
+
+/// Success-or-error result of an operation, carrying a message on failure.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalid_argument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status out_of_range(std::string m) {
+    return {StatusCode::kOutOfRange, std::move(m)};
+  }
+  static Status failed_precondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status not_found(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+  static Status unimplemented(std::string m) {
+    return {StatusCode::kUnimplemented, std::move(m)};
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message" — for logs and test failure output.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-Status result. Minimal StatusOr: check ok() before value().
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  [[nodiscard]] bool is_ok() const { return status_.is_ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] T&& take() && { return std::move(*value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace gfi

@@ -1,0 +1,49 @@
+// ASCII and CSV table rendering for bench harnesses. Every bench binary
+// prints the rows of its paper table/figure through this so output is
+// uniform and machine-extractable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace gfi {
+
+/// Column-aligned text table with an optional title, plus CSV export.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience formatters.
+  static std::string fmt(f64 value, int precision = 3);
+  static std::string pct(f64 fraction, int precision = 2);  // "12.34%"
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the aligned ASCII table.
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// Renders RFC-4180-ish CSV (fields containing commas are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Prints the ASCII rendering to stdout.
+  void print() const;
+
+  /// Writes the CSV rendering to `path`.
+  Status write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gfi

@@ -1,0 +1,44 @@
+// Core scalar and geometry types shared by every gpufi module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gfi {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+/// CUDA-style 3-component extent used for grid and block dimensions.
+struct Dim3 {
+  u32 x = 1;
+  u32 y = 1;
+  u32 z = 1;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(u32 x_, u32 y_ = 1, u32 z_ = 1) : x(x_), y(y_), z(z_) {}
+
+  /// Total number of elements spanned by this extent.
+  [[nodiscard]] constexpr u64 count() const {
+    return static_cast<u64>(x) * y * z;
+  }
+
+  friend constexpr bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+/// Renders "(x, y, z)" for logs and error messages.
+inline std::string to_string(const Dim3& d) {
+  return "(" + std::to_string(d.x) + ", " + std::to_string(d.y) + ", " +
+         std::to_string(d.z) + ")";
+}
+
+}  // namespace gfi

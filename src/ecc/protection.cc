@@ -1,0 +1,29 @@
+#include "ecc/protection.h"
+
+namespace gfi::ecc {
+
+const char* to_string(EccMode mode) {
+  switch (mode) {
+    case EccMode::kDisabled:
+      return "off";
+    case EccMode::kSecded:
+      return "secded";
+  }
+  return "?";
+}
+
+const char* to_string(ReadEffect effect) {
+  switch (effect) {
+    case ReadEffect::kClean:
+      return "clean";
+    case ReadEffect::kRawCorrupted:
+      return "raw-corrupted";
+    case ReadEffect::kCorrected:
+      return "corrected";
+    case ReadEffect::kDoubleBitTrap:
+      return "double-bit-trap";
+  }
+  return "?";
+}
+
+}  // namespace gfi::ecc

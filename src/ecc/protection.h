@@ -1,0 +1,53 @@
+// Observable-equivalent ECC behaviour model used on the memory/RF hot path.
+//
+// Instead of encoding/decoding every access, injected upsets are recorded in
+// a fault map (word address -> flipped-bit mask) and this policy decides what
+// a read observes: the corrected value plus an SBE count, a double-bit trap,
+// or the raw corrupted bits when ECC is disabled. ecc/secded.h proves the
+// SECDED code really behaves this way; tests cross-validate the two.
+#pragma once
+
+#include "common/bitutil.h"
+#include "common/types.h"
+
+namespace gfi::ecc {
+
+/// Protection applied to a storage structure.
+enum class EccMode {
+  kDisabled,  ///< reads observe raw (possibly corrupted) bits
+  kSecded,    ///< SECDED: 1-bit corrected + counted, >=2-bit detected (trap)
+};
+
+/// What a read of a faulted word observes under a given mode.
+enum class ReadEffect {
+  kClean,          ///< no fault present
+  kRawCorrupted,   ///< ECC off: corrupted bits returned silently
+  kCorrected,      ///< single-bit fault corrected; SBE counter bumps
+  kDoubleBitTrap,  ///< >=2 flipped bits detected but uncorrectable (DUE)
+};
+
+/// Classifies a read of a word whose injected flip mask is `flip_mask`.
+constexpr ReadEffect classify_read(EccMode mode, u64 flip_mask) {
+  if (flip_mask == 0) return ReadEffect::kClean;
+  if (mode == EccMode::kDisabled) return ReadEffect::kRawCorrupted;
+  return popcount64(flip_mask) == 1 ? ReadEffect::kCorrected
+                                    : ReadEffect::kDoubleBitTrap;
+}
+
+/// Running counters mirroring nvidia-smi's volatile ECC counters.
+struct EccCounters {
+  u64 corrected_sbe = 0;    ///< single-bit errors corrected
+  u64 detected_dbe = 0;     ///< double-bit errors detected (trapped)
+  u64 silent_corrupted = 0; ///< ECC-off reads that returned corrupted data
+
+  void merge(const EccCounters& other) {
+    corrected_sbe += other.corrected_sbe;
+    detected_dbe += other.detected_dbe;
+    silent_corrupted += other.silent_corrupted;
+  }
+};
+
+const char* to_string(EccMode mode);
+const char* to_string(ReadEffect effect);
+
+}  // namespace gfi::ecc

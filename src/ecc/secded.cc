@@ -1,0 +1,110 @@
+#include "ecc/secded.h"
+
+#include <array>
+
+#include "common/bitutil.h"
+
+namespace gfi::ecc {
+namespace {
+
+// Classic extended-Hamming layout: codeword positions 1..71 carry the 7
+// Hamming parity bits at power-of-two positions (1,2,4,...,64) and the 64
+// data bits at the remaining positions; one extra overall-parity bit makes
+// the code double-error-detecting.
+
+constexpr int kPositions = 72;  // 1..71 used; index 0 unused
+
+struct Layout {
+  std::array<u32, 64> pos_of_data{};  // data bit -> codeword position
+  std::array<int, kPositions> data_of_pos{};  // position -> data bit or -1
+};
+
+constexpr bool is_power_of_two(u32 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr Layout make_layout() {
+  Layout layout{};
+  for (auto& entry : layout.data_of_pos) entry = -1;
+  u32 data_bit = 0;
+  for (u32 pos = 1; pos < kPositions && data_bit < 64; ++pos) {
+    if (is_power_of_two(pos)) continue;
+    layout.pos_of_data[data_bit] = pos;
+    layout.data_of_pos[pos] = static_cast<int>(data_bit);
+    ++data_bit;
+  }
+  return layout;
+}
+
+constexpr Layout kLayout = make_layout();
+
+/// XOR of data bits whose codeword position has bit `j` set.
+u32 hamming_parity(u64 data, u32 j) {
+  u32 parity = 0;
+  for (u32 bit = 0; bit < 64; ++bit) {
+    if ((kLayout.pos_of_data[bit] >> j) & 1u) {
+      parity ^= get_bit64(data, bit);
+    }
+  }
+  return parity;
+}
+
+}  // namespace
+
+Codeword encode(u64 data) {
+  u8 check = 0;
+  u32 overall = popcount64(data) & 1;
+  for (u32 j = 0; j < 7; ++j) {
+    const u32 p = hamming_parity(data, j);
+    check |= static_cast<u8>(p << j);
+    overall ^= p;
+  }
+  check |= static_cast<u8>(overall << 7);
+  return {data, check};
+}
+
+DecodeResult decode(const Codeword& word) {
+  // Syndrome: received parities XOR recomputed parities.
+  u32 syndrome = 0;
+  u32 overall = popcount64(word.data) & 1;
+  for (u32 j = 0; j < 7; ++j) {
+    const u32 received = (word.check >> j) & 1u;
+    overall ^= received;
+    if (received != hamming_parity(word.data, j)) syndrome |= 1u << j;
+  }
+  const bool overall_mismatch = overall != ((word.check >> 7) & 1u);
+
+  if (syndrome == 0) {
+    // Either clean, or the overall parity bit itself flipped.
+    return {overall_mismatch ? DecodeStatus::kCorrectedSingle
+                             : DecodeStatus::kClean,
+            word.data};
+  }
+
+  if (!overall_mismatch) {
+    // Nonzero syndrome with even overall parity: two bits flipped.
+    return {DecodeStatus::kDetectedDouble, word.data};
+  }
+
+  // Single-bit error at codeword position `syndrome`.
+  if (syndrome < kPositions) {
+    const int data_bit = kLayout.data_of_pos[syndrome];
+    if (data_bit >= 0) {
+      return {DecodeStatus::kCorrectedSingle,
+              flip_bit64(word.data, static_cast<u32>(data_bit))};
+    }
+    // Error was in a check bit; data is intact.
+    return {DecodeStatus::kCorrectedSingle, word.data};
+  }
+  // Syndrome points outside the codeword: must be a multi-bit upset.
+  return {DecodeStatus::kDetectedDouble, word.data};
+}
+
+Codeword flip_codeword_bit(Codeword word, u32 bit) {
+  if (bit < 64) {
+    word.data = flip_bit64(word.data, bit);
+  } else {
+    word.check = static_cast<u8>(word.check ^ (1u << (bit - 64)));
+  }
+  return word;
+}
+
+}  // namespace gfi::ecc

@@ -1,0 +1,46 @@
+// SECDED Hamming(72,64) codec — the code class NVIDIA uses for register
+// files, caches and (pre-HBM3) DRAM: Single-Error-Correct,
+// Double-Error-Detect over 64 data bits with 8 check bits.
+//
+// The memory system's hot path does not run this codec per access (it uses
+// the observable-equivalent fault map in ecc/protection.h); the codec exists
+// to validate that model bit-for-bit and as a public API for users studying
+// code behaviour directly.
+#pragma once
+
+#include "common/types.h"
+
+namespace gfi::ecc {
+
+/// A 72-bit codeword: 64 data bits + 8 check bits
+/// (7 Hamming parity bits + 1 overall parity bit).
+struct Codeword {
+  u64 data = 0;
+  u8 check = 0;
+
+  friend constexpr bool operator==(const Codeword&, const Codeword&) = default;
+};
+
+/// Decode classification.
+enum class DecodeStatus {
+  kClean,            ///< no error detected
+  kCorrectedSingle,  ///< single-bit error corrected (data or check bit)
+  kDetectedDouble,   ///< double-bit error detected, not correctable
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kClean;
+  u64 data = 0;  ///< corrected data (valid unless kDetectedDouble)
+};
+
+/// Encodes 64 data bits into a SECDED codeword.
+Codeword encode(u64 data);
+
+/// Decodes a (possibly corrupted) codeword.
+DecodeResult decode(const Codeword& word);
+
+/// Flips one bit of the codeword: bits [0,64) address data bits,
+/// bits [64,72) address check bits. Used by tests and demos.
+Codeword flip_codeword_bit(Codeword word, u32 bit);
+
+}  // namespace gfi::ecc

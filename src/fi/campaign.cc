@@ -1,0 +1,292 @@
+#include "fi/campaign.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/bitutil.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "sassim/device.h"
+#include "workloads/workload.h"
+
+namespace gfi::fi {
+namespace {
+
+/// Watchdog budget: generous multiple of the golden dynamic length so true
+/// hangs are caught without misclassifying slow-but-progressing runs.
+u64 watchdog_for(u64 golden_dyn_instrs) {
+  return golden_dyn_instrs * 3 + 10000;
+}
+
+/// Samples the group to strike for instruction-targeted modes, weighted by
+/// dynamic frequency over the groups the mode can reach.
+Result<sim::InstrGroup> sample_group(const CampaignConfig& config,
+                                     const sim::Profile& profile, Rng& rng) {
+  if (config.group) {
+    if (!mode_targets_group(config.model.mode, *config.group)) {
+      return Status::invalid_argument(
+          std::string("mode ") + to_string(config.model.mode) +
+          " cannot target group " + sim::group_name(*config.group));
+    }
+    if (profile.group_warp_count(*config.group) == 0) {
+      return Status::invalid_argument(
+          std::string("workload '") + config.workload +
+          "' executes no instructions in group " +
+          sim::group_name(*config.group));
+    }
+    return *config.group;
+  }
+  u64 total = 0;
+  for (int g = 0; g < sim::kInstrGroupCount; ++g) {
+    const auto group = static_cast<sim::InstrGroup>(g);
+    if (mode_targets_group(config.model.mode, group)) {
+      total += profile.group_warp_count(group);
+    }
+  }
+  if (total == 0) {
+    return Status::invalid_argument(
+        std::string("workload '") + config.workload +
+        "' has no instructions eligible for mode " +
+        to_string(config.model.mode));
+  }
+  u64 pick = rng.next_below(total);
+  for (int g = 0; g < sim::kInstrGroupCount; ++g) {
+    const auto group = static_cast<sim::InstrGroup>(g);
+    if (!mode_targets_group(config.model.mode, group)) continue;
+    const u64 count = profile.group_warp_count(group);
+    if (pick < count) return group;
+    pick -= count;
+  }
+  return static_cast<sim::InstrGroup>(0);  // unreachable
+}
+
+Result<FaultSite> sample_site(const CampaignConfig& config,
+                              const sim::Profile& profile,
+                              u64 golden_dyn_instrs, Rng& rng) {
+  FaultSite site;
+  site.model = config.model;
+  switch (config.model.mode) {
+    case InjectionMode::kIov:
+    case InjectionMode::kPred:
+    case InjectionMode::kIoa: {
+      auto group = sample_group(config, profile, rng);
+      if (!group.is_ok()) return group.status();
+      site.group = group.value();
+      site.target_occurrence =
+          rng.next_below(profile.group_warp_count(group.value()));
+      break;
+    }
+    case InjectionMode::kRf:
+      site.target_occurrence = rng.next_below(std::max<u64>(golden_dyn_instrs, 1));
+      site.reg_sel = static_cast<u16>(rng.next_u32());
+      break;
+    case InjectionMode::kMemory:
+      break;  // the address is sampled after setup (needs the allocation map)
+  }
+  site.lane_sel = rng.next_u32();
+  site.bit_sel = config.fixed_bit ? *config.fixed_bit : rng.next_u32();
+  site.bit_sel2 = rng.next_u32();
+  site.random_value = rng.next();
+  return site;
+}
+
+/// Pre-launch memory injection: flips bits in one allocated word.
+void inject_memory_fault(sim::Device& device, const FaultSite& site, Rng& rng) {
+  sim::GlobalMemory& memory = device.memory();
+  const u64 allocated = memory.bytes_allocated();
+  if (allocated < 4) return;
+  const u64 words = allocated / 4;
+  const u64 addr =
+      sim::GlobalMemory::kBaseAddress + rng.next_below(words) * 4;
+  u32 mask = 0;
+  switch (site.model.flip) {
+    case BitFlipModel::kSingle:
+      mask = 1u << (site.bit_sel % 32);
+      break;
+    case BitFlipModel::kDouble: {
+      u32 b2 = site.bit_sel2 % 32;
+      if (b2 == site.bit_sel % 32) b2 = (b2 + 1) % 32;
+      mask = (1u << (site.bit_sel % 32)) | (1u << b2);
+      break;
+    }
+    case BitFlipModel::kRandomValue:
+    case BitFlipModel::kZeroValue:
+      // A whole-word upset: random multi-bit pattern (never zero).
+      mask = static_cast<u32>(site.random_value) | 1u;
+      break;
+  }
+  memory.inject_fault(addr, mask);
+}
+
+}  // namespace
+
+const char* to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kMasked: return "Masked";
+    case Outcome::kMaskedTolerated: return "Tolerated";
+    case Outcome::kSdc: return "SDC";
+    case Outcome::kDue: return "DUE";
+    case Outcome::kHang: return "Hang";
+    case Outcome::kDetectedCorrected: return "Corrected";
+    case Outcome::kNotActivated: return "NotActivated";
+  }
+  return "?";
+}
+
+f64 CampaignResult::rate(Outcome outcome) const {
+  if (records.empty()) return 0.0;
+  return static_cast<f64>(count(outcome)) / static_cast<f64>(records.size());
+}
+
+stats::Interval CampaignResult::rate_interval(Outcome outcome) const {
+  return stats::wilson_interval(count(outcome), records.size());
+}
+
+Result<Campaign::Golden> Campaign::golden_run(const CampaignConfig& config) {
+  auto workload = wl::make_workload(config.workload);
+  if (!workload) {
+    return Status::not_found("unknown workload '" + config.workload + "'");
+  }
+  sim::Device device(config.machine);
+  auto spec = workload->setup(device);
+  if (!spec.is_ok()) return spec.status();
+
+  sim::ProfilerHook profiler;
+  sim::LaunchOptions options;
+  options.hooks.push_back(&profiler);
+  auto launch = device.launch(workload->program(), spec.value().grid,
+                              spec.value().block, spec.value().params, options);
+  if (!launch.is_ok()) return launch.status();
+  if (!launch.value().ok()) {
+    return Status::internal("golden run of '" + config.workload +
+                            "' trapped: " + launch.value().trap.to_string());
+  }
+  auto checked = workload->check(device);
+  if (!checked.is_ok()) return checked.status();
+  if (checked.value().trap != sim::TrapKind::kNone ||
+      !checked.value().result.passed()) {
+    return Status::internal("golden run of '" + config.workload +
+                            "' failed its own reference check (max rel err " +
+                            std::to_string(checked.value().result.max_rel_err) +
+                            ")");
+  }
+  Golden golden;
+  golden.profile = profiler.profile();
+  golden.dyn_instrs = launch.value().dyn_warp_instrs;
+  golden.cycles = launch.value().cycles;
+  return golden;
+}
+
+Result<InjectionRecord> Campaign::run_single(const CampaignConfig& config,
+                                             const sim::Profile& profile,
+                                             u64 golden_dyn_instrs,
+                                             std::size_t run_index) {
+  Rng rng = Rng::for_stream(config.seed, run_index);
+  auto site = sample_site(config, profile, golden_dyn_instrs, rng);
+  if (!site.is_ok()) return site.status();
+
+  auto workload = wl::make_workload(config.workload);
+  if (!workload) {
+    return Status::not_found("unknown workload '" + config.workload + "'");
+  }
+  sim::Device device(config.machine);
+  auto spec = workload->setup(device);
+  if (!spec.is_ok()) return spec.status();
+
+  InjectionRecord record;
+  record.site = site.value();
+
+  InjectorHook injector(site.value(), device.config());
+  sim::LaunchOptions options;
+  options.watchdog_instrs = watchdog_for(golden_dyn_instrs);
+  if (config.model.mode == InjectionMode::kMemory) {
+    inject_memory_fault(device, site.value(), rng);
+    record.effect.activated = true;  // the upset is in place
+  } else {
+    options.hooks.push_back(&injector);
+  }
+
+  auto launch = device.launch(workload->program(), spec.value().grid,
+                              spec.value().block, spec.value().params, options);
+  if (!launch.is_ok()) return launch.status();
+  record.effect = config.model.mode == InjectionMode::kMemory
+                      ? record.effect
+                      : injector.effect();
+  record.dyn_instrs = launch.value().dyn_warp_instrs;
+
+  if (launch.value().trap.fired()) {
+    record.trap = launch.value().trap.kind;
+    record.outcome = record.trap == sim::TrapKind::kWatchdogTimeout
+                         ? Outcome::kHang
+                         : Outcome::kDue;
+    return record;
+  }
+
+  if (config.model.mode != InjectionMode::kMemory &&
+      !record.effect.activated) {
+    record.outcome = Outcome::kNotActivated;
+    return record;
+  }
+
+  auto checked = workload->check(device);
+  if (!checked.is_ok()) return checked.status();
+  if (checked.value().trap != sim::TrapKind::kNone) {
+    record.trap = checked.value().trap;
+    record.outcome = Outcome::kDue;  // DBE consumed during result copy-back
+    return record;
+  }
+
+  const wl::CheckResult& result = checked.value().result;
+  record.error_magnitude = result.max_rel_err;
+  if (record.effect.corrected_by_ecc) {
+    record.outcome = Outcome::kDetectedCorrected;
+  } else if (result.bitwise_equal) {
+    // For memory mode, credit ECC when the launch observed corrections.
+    record.outcome = (config.model.mode == InjectionMode::kMemory &&
+                      launch.value().ecc.corrected_sbe > 0)
+                         ? Outcome::kDetectedCorrected
+                         : Outcome::kMasked;
+  } else if (result.within_tolerance) {
+    record.outcome = Outcome::kMaskedTolerated;
+  } else {
+    record.outcome = Outcome::kSdc;
+  }
+  return record;
+}
+
+Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
+  if (config.num_injections == 0) {
+    return Status::invalid_argument("num_injections must be > 0");
+  }
+  auto golden = golden_run(config);
+  if (!golden.is_ok()) return golden.status();
+
+  CampaignResult result;
+  result.config = config;
+  result.profile = golden.value().profile;
+  result.golden_dyn_instrs = golden.value().dyn_instrs;
+  result.golden_cycles = golden.value().cycles;
+  result.records.resize(config.num_injections);
+
+  std::vector<Status> errors(config.num_injections);
+  ThreadPool pool(config.threads);
+  pool.parallel_for(config.num_injections, [&](std::size_t i) {
+    auto record = run_single(config, result.profile,
+                             result.golden_dyn_instrs, i);
+    if (record.is_ok()) {
+      result.records[i] = std::move(record).take();
+    } else {
+      errors[i] = record.status();
+    }
+  });
+  for (const Status& status : errors) {
+    if (!status.is_ok()) return status;
+  }
+
+  for (const InjectionRecord& record : result.records) {
+    ++result.outcome_counts[static_cast<int>(record.outcome)];
+  }
+  return result;
+}
+
+}  // namespace gfi::fi

@@ -1,0 +1,101 @@
+// Two-phase fault-injection campaign (NVBitFI style):
+//   Phase 1 — golden run with the profiler: dynamic instruction counts per
+//             group, golden output, watchdog budget.
+//   Phase 2 — N independent injection runs, each on a fresh simulated
+//             device, fanned out over a host thread pool; every run strikes
+//             exactly one fault at a uniformly sampled eligible site and is
+//             classified against the golden outcome.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "fi/fault_model.h"
+#include "fi/injector.h"
+#include "sassim/machine_config.h"
+#include "sassim/profiler.h"
+#include "sassim/trap.h"
+
+namespace gfi::fi {
+
+/// Classification of one injection run.
+enum class Outcome : u8 {
+  kMasked,             ///< bitwise-identical output
+  kMaskedTolerated,    ///< output differs but within workload tolerance
+  kSdc,                ///< silent data corruption (beyond tolerance)
+  kDue,                ///< detected unrecoverable error (trap / ECC DBE)
+  kHang,               ///< watchdog timeout
+  kDetectedCorrected,  ///< ECC corrected the fault (no corruption occurred)
+  kNotActivated,       ///< site was predicated off / never consumed
+};
+
+inline constexpr int kOutcomeCount = static_cast<int>(Outcome::kNotActivated) + 1;
+const char* to_string(Outcome outcome);
+
+struct CampaignConfig {
+  std::string workload;            ///< registry name
+  sim::MachineConfig machine;      ///< arch preset (a100() / h100() / toy())
+  FaultModel model;
+  /// Instruction-group filter for IOV/PRED/IOA. nullopt = sample across all
+  /// groups the mode can target, weighted by dynamic frequency.
+  std::optional<sim::InstrGroup> group;
+  std::size_t num_injections = 1000;
+  u64 seed = 0x5eed;
+  std::size_t threads = 0;  ///< worker threads; 0 = hardware concurrency
+  /// Fixes the flipped bit index for all runs (bit-sensitivity sweeps);
+  /// nullopt = uniform random bit per run.
+  std::optional<u32> fixed_bit;
+};
+
+struct InjectionRecord {
+  Outcome outcome = Outcome::kNotActivated;
+  FaultSite site;
+  InjectionEffect effect;
+  sim::TrapKind trap = sim::TrapKind::kNone;
+  f64 error_magnitude = 0.0;  ///< max relative output error when mismatched
+  u64 dyn_instrs = 0;
+};
+
+struct CampaignResult {
+  CampaignConfig config;
+  sim::Profile profile;  ///< golden dynamic-instruction profile
+  u64 golden_dyn_instrs = 0;
+  u64 golden_cycles = 0;
+  std::vector<InjectionRecord> records;
+  std::array<u64, kOutcomeCount> outcome_counts{};
+
+  [[nodiscard]] u64 count(Outcome outcome) const {
+    return outcome_counts[static_cast<int>(outcome)];
+  }
+  /// Rate of `outcome` among all injections.
+  [[nodiscard]] f64 rate(Outcome outcome) const;
+  /// 95% Wilson interval for that rate.
+  [[nodiscard]] stats::Interval rate_interval(Outcome outcome) const;
+};
+
+class Campaign {
+ public:
+  /// Runs the full two-phase campaign.
+  static Result<CampaignResult> run(const CampaignConfig& config);
+
+  /// Replays a single injection (used by tests and for debugging): returns
+  /// the record produced for run index `i` of `config`.
+  static Result<InjectionRecord> run_single(const CampaignConfig& config,
+                                            const sim::Profile& profile,
+                                            u64 golden_dyn_instrs,
+                                            std::size_t run_index);
+
+  /// Phase-1 only: golden profile for a (workload, machine) pair.
+  struct Golden {
+    sim::Profile profile;
+    u64 dyn_instrs = 0;
+    u64 cycles = 0;
+  };
+  static Result<Golden> golden_run(const CampaignConfig& config);
+};
+
+}  // namespace gfi::fi

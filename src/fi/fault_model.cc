@@ -1,0 +1,47 @@
+#include "fi/fault_model.h"
+
+namespace gfi::fi {
+
+const char* to_string(InjectionMode mode) {
+  switch (mode) {
+    case InjectionMode::kIov: return "IOV";
+    case InjectionMode::kIoa: return "IOA";
+    case InjectionMode::kPred: return "PRED";
+    case InjectionMode::kRf: return "RF";
+    case InjectionMode::kMemory: return "MEM";
+  }
+  return "?";
+}
+
+const char* to_string(BitFlipModel flip) {
+  switch (flip) {
+    case BitFlipModel::kSingle: return "1-bit";
+    case BitFlipModel::kDouble: return "2-bit";
+    case BitFlipModel::kRandomValue: return "rand-val";
+    case BitFlipModel::kZeroValue: return "zero-val";
+  }
+  return "?";
+}
+
+bool mode_targets_group(InjectionMode mode, sim::InstrGroup group) {
+  using sim::InstrGroup;
+  switch (mode) {
+    case InjectionMode::kIov:
+      // Any group whose instructions produce a register value.
+      return group == InstrGroup::kInt || group == InstrGroup::kIntMad ||
+             group == InstrGroup::kFp32 || group == InstrGroup::kFp32Fma ||
+             group == InstrGroup::kFp64 || group == InstrGroup::kLoad ||
+             group == InstrGroup::kAtomic || group == InstrGroup::kWarpComm ||
+             group == InstrGroup::kMma;
+    case InjectionMode::kPred:
+      return group == InstrGroup::kSetp;
+    case InjectionMode::kIoa:
+      return group == InstrGroup::kStore;
+    case InjectionMode::kRf:
+    case InjectionMode::kMemory:
+      return true;  // not instruction-targeted
+  }
+  return false;
+}
+
+}  // namespace gfi::fi

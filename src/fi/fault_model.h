@@ -1,0 +1,47 @@
+// Fault models: where a transient fault strikes (InjectionMode) and what it
+// does to the bits (BitFlipModel). The mode/flip taxonomy follows SASSIFI
+// (Hari et al., ISPASS'17) and NVBitFI (Tsai et al., DSN'21).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "sassim/isa.h"
+
+namespace gfi::fi {
+
+/// Where the fault is injected.
+enum class InjectionMode : u8 {
+  kIov,     ///< instruction output value: corrupt the destination register
+            ///< written by a dynamic instruction (SASSIFI IOV)
+  kIoa,     ///< instruction output address: corrupt a store's effective
+            ///< address (SASSIFI IOA)
+  kPred,    ///< corrupt the predicate written by a SETP-class instruction
+  kRf,      ///< random architected register bit at a random dynamic point
+            ///< (SASSIFI RF mode); interacts with register-file ECC
+  kMemory,  ///< flip bit(s) in an allocated global-memory word before launch;
+            ///< observable behaviour governed by DRAM/L2 ECC
+};
+
+/// What the fault does to the target bits.
+enum class BitFlipModel : u8 {
+  kSingle,       ///< flip one random bit
+  kDouble,       ///< flip two distinct random bits
+  kRandomValue,  ///< replace the value with a random pattern
+  kZeroValue,    ///< replace the value with zero
+};
+
+struct FaultModel {
+  InjectionMode mode = InjectionMode::kIov;
+  BitFlipModel flip = BitFlipModel::kSingle;
+};
+
+const char* to_string(InjectionMode mode);
+const char* to_string(BitFlipModel flip);
+
+/// True when `group` can be targeted by `mode` (e.g. IOV needs a
+/// register/predicate-writing group; IOA needs stores).
+bool mode_targets_group(InjectionMode mode, sim::InstrGroup group);
+
+}  // namespace gfi::fi

@@ -1,0 +1,52 @@
+// SWIFT-style software hardening (Reis et al., CGO'05) for gpufi kernels:
+// duplicate the dataflow into shadow registers and verify value and address
+// operands immediately before every store/atomic; a mismatch raises a
+// deliberate trap (detected error) instead of letting corrupted data escape
+// to memory.
+//
+// Scope (documented, as in the original SWIFT): the sphere of replication
+// covers register dataflow. Loads/S2R/LDC enter it by copying their result
+// to the shadow; stores/atomics exit it through the checks. Predicates and
+// control flow are not duplicated, and HMMA kernels are rejected (fragment
+// duplication would double an already-wide register footprint).
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "sassim/program.h"
+#include "workloads/workload.h"
+
+namespace gfi::harden {
+
+/// Statistics of one hardening transform.
+struct SwiftStats {
+  std::size_t original_instrs = 0;
+  std::size_t hardened_instrs = 0;
+  std::size_t duplicated = 0;  ///< shadow compute instructions inserted
+  std::size_t checks = 0;      ///< store/atomic operand checks inserted
+
+  [[nodiscard]] f64 static_overhead() const {
+    return original_instrs
+               ? static_cast<f64>(hardened_instrs) /
+                     static_cast<f64>(original_instrs)
+               : 0.0;
+  }
+};
+
+/// Transforms `program` into its SWIFT-hardened equivalent. Fails when the
+/// program cannot be hardened (register budget would exceed the ISA limit,
+/// HMMA present, or the check predicate P6 is already written).
+Result<sim::Program> swift_harden(const sim::Program& program,
+                                  SwiftStats* stats = nullptr);
+
+/// Wraps a workload so campaigns run its SWIFT-hardened kernel against the
+/// same inputs and golden check. Returns nullptr if the inner workload is
+/// unknown or cannot be hardened.
+std::unique_ptr<wl::Workload> make_hardened(const std::string& inner_name);
+
+/// Registers "<name>_swift" hardened variants for every built-in workload
+/// that can be hardened. Idempotent.
+void register_hardened_workloads();
+
+}  // namespace gfi::harden

@@ -1,0 +1,58 @@
+// NVBit-style dynamic instrumentation interface.
+//
+// Hooks observe and may mutate architectural state around every dynamic
+// warp instruction — the same power NVBitFI's injector has on real GPUs.
+// The fault injector, the opcode profiler, and tracing tools are all just
+// InstrumentHook implementations.
+#pragma once
+
+#include "common/types.h"
+#include "sassim/isa.h"
+#include "sassim/trap.h"
+#include "sassim/warp.h"
+
+namespace gfi::sim {
+
+class Program;
+
+/// Context handed to hooks for one dynamic warp instruction.
+struct InstrContext {
+  const Instr* instr = nullptr;
+  InstrGroup group = InstrGroup::kControl;
+  u64 dyn_index = 0;   ///< global dynamic warp-instruction counter
+  u32 cta = 0;         ///< linear CTA id
+  u32 warp = 0;        ///< warp index within the CTA
+  u32 exec_mask = 0;   ///< lanes that will execute (active & guard)
+  WarpState* warp_state = nullptr;  ///< mutable architectural state
+
+  /// A hook may request a synchronous trap (e.g. modeling an RF ECC
+  /// double-bit detection); the executor aborts the launch with it.
+  TrapKind requested_trap = TrapKind::kNone;
+};
+
+/// Callback interface invoked by the simulator around every instruction.
+class InstrumentHook {
+ public:
+  virtual ~InstrumentHook() = default;
+
+  /// Called once when a launch starts / finishes.
+  virtual void on_launch_begin(const Program& /*program*/) {}
+  virtual void on_launch_end() {}
+
+  /// Called before the instruction executes. May mutate sources (RF /
+  /// predicate injection) or request a trap.
+  virtual void on_before_instr(InstrContext& /*ctx*/) {}
+
+  /// Called after the instruction executed and wrote its destination.
+  /// May mutate the destination (IOV injection).
+  virtual void on_after_instr(InstrContext& /*ctx*/) {}
+
+  /// Store-address transform (IOA injection). Returns the address actually
+  /// used for lane `lane` of a store.
+  virtual u64 transform_store_address(u64 addr, const InstrContext& /*ctx*/,
+                                      u32 /*lane*/) {
+    return addr;
+  }
+};
+
+}  // namespace gfi::sim

@@ -1,0 +1,47 @@
+#include "sassim/machine_config.h"
+
+#include <algorithm>
+
+namespace gfi::sim {
+
+LatencyTable default_latencies() {
+  LatencyTable table;
+  table.cycles.fill(4);  // simple ALU default
+  table.set(Opcode::kNop, 1);
+  table.set(Opcode::kExit, 1);
+  table.set(Opcode::kBra, 2);
+  table.set(Opcode::kSsy, 1);
+  table.set(Opcode::kSync, 2);
+  table.set(Opcode::kBar, 2);
+  table.set(Opcode::kIMad, 5);
+  table.set(Opcode::kIMul, 5);
+  table.set(Opcode::kFFma, 4);
+  table.set(Opcode::kMufu, 16);
+  table.set(Opcode::kLdg, 40);   // overridden per-arch via mem_latency_cycles
+  table.set(Opcode::kStg, 10);
+  table.set(Opcode::kLds, 8);
+  table.set(Opcode::kSts, 4);
+  table.set(Opcode::kAtomG, 60);
+  table.set(Opcode::kAtomS, 12);
+  table.set(Opcode::kShfl, 6);
+  table.set(Opcode::kVote, 2);
+  table.set(Opcode::kHmma, 8);
+  return table;
+}
+
+u32 MachineConfig::ctas_per_sm(u32 threads_per_cta, u16 regs_per_thread,
+                               u32 shared_bytes_per_cta) const {
+  if (threads_per_cta == 0) return 0;
+  const u32 warps_per_cta = (threads_per_cta + kWarpSize - 1) / kWarpSize;
+  u32 limit = max_ctas_per_sm;
+  limit = std::min(limit, max_warps_per_sm / std::max(1u, warps_per_cta));
+  const u32 regs_per_cta =
+      std::max<u32>(1, threads_per_cta * std::max<u16>(regs_per_thread, 1));
+  limit = std::min(limit, regfile_words_per_sm / regs_per_cta);
+  if (shared_bytes_per_cta > 0) {
+    limit = std::min(limit, shared_bytes_per_sm / shared_bytes_per_cta);
+  }
+  return limit;
+}
+
+}  // namespace gfi::sim

@@ -1,0 +1,64 @@
+// Architecture parameters of a simulated GPU. Instances for A100 and H100
+// live in src/arch; the simulator core is config-driven and knows nothing
+// about specific products.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/types.h"
+#include "ecc/protection.h"
+#include "sassim/isa.h"
+
+namespace gfi::sim {
+
+/// Per-opcode issue latency in cycles (timing model only; functional
+/// behaviour never depends on these).
+struct LatencyTable {
+  std::array<u8, kOpcodeCount> cycles{};
+
+  constexpr u8 of(Opcode op) const { return cycles[static_cast<int>(op)]; }
+  constexpr void set(Opcode op, u8 latency) {
+    cycles[static_cast<int>(op)] = latency;
+  }
+};
+
+/// Fills a LatencyTable with sensible per-class defaults, then lets the
+/// arch preset override individual entries.
+LatencyTable default_latencies();
+
+/// Static description of one GPU model.
+struct MachineConfig {
+  std::string name = "toy";
+
+  // --- compute resources ------------------------------------------------
+  u32 num_sms = 2;             ///< streaming multiprocessors
+  u32 max_warps_per_sm = 64;   ///< resident warp slots per SM
+  u32 max_ctas_per_sm = 32;    ///< resident CTA slots per SM
+  u32 regfile_words_per_sm = 65536;  ///< 32-bit registers per SM (256 KiB)
+  u32 shared_bytes_per_sm = 65536;   ///< shared memory per SM
+  u32 issue_width = 4;         ///< warp instructions issued per SM per cycle
+
+  // --- memory system ----------------------------------------------------
+  u64 global_mem_bytes = 1ULL << 30;  ///< device arena ceiling
+  u32 l2_bytes = 4u << 20;            ///< modeled L2 capacity (exposure only)
+  u32 mem_latency_cycles = 40;        ///< LDG/STG latency used by timing model
+  u32 shared_latency_cycles = 8;
+
+  // --- clocks (timing model reporting) -----------------------------------
+  f64 sm_clock_ghz = 1.0;
+
+  // --- resilience -------------------------------------------------------
+  ecc::EccMode dram_ecc = ecc::EccMode::kSecded;  ///< DRAM/L2 protection
+  ecc::EccMode rf_ecc = ecc::EccMode::kSecded;    ///< register-file protection
+  bool tensor_core_tf32 = true;  ///< HMMA rounds inputs to TF32
+
+  // --- timing -----------------------------------------------------------
+  LatencyTable latencies = default_latencies();
+
+  /// Maximum CTAs of a given footprint resident per SM (occupancy limit).
+  [[nodiscard]] u32 ctas_per_sm(u32 threads_per_cta, u16 regs_per_thread,
+                                u32 shared_bytes_per_cta) const;
+};
+
+}  // namespace gfi::sim

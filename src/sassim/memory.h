@@ -1,0 +1,79 @@
+// Simulated device global memory: bump allocator + ECC fault-map semantics.
+//
+// Injected upsets are recorded per 32-bit word in a fault map rather than
+// stored in the backing bytes, so ECC behaviour stays observable-equivalent
+// (see ecc/protection.h): with SECDED on, a 1-bit fault is corrected and
+// counted on every read, a >=2-bit fault traps; with ECC off, reads return
+// the corrupted bits. Overwriting a whole faulted word clears the fault
+// (transient-upset model — new data is re-encoded correctly).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "ecc/protection.h"
+#include "sassim/trap.h"
+
+namespace gfi::sim {
+
+class GlobalMemory {
+ public:
+  /// First valid device address; accesses below it trap (NULL-page guard).
+  static constexpr u64 kBaseAddress = 0x10000;
+
+  GlobalMemory(u64 capacity_bytes, ecc::EccMode mode);
+
+  /// Bump-allocates `bytes` with the given alignment (power of two).
+  [[nodiscard]] Result<u64> allocate(u64 bytes, u64 align = 256);
+
+  /// Releases every allocation and all injected faults.
+  void reset();
+
+  [[nodiscard]] u64 bytes_allocated() const { return brk_ - kBaseAddress; }
+  [[nodiscard]] u64 capacity() const { return capacity_; }
+  [[nodiscard]] ecc::EccMode ecc_mode() const { return mode_; }
+  void set_ecc_mode(ecc::EccMode mode) { mode_ = mode; }
+
+  /// Reads `n` bytes with full trap/ECC semantics. On a trap the output
+  /// buffer contents are unspecified.
+  [[nodiscard]] TrapKind read(u64 addr, void* out, u32 n);
+
+  /// Writes `n` bytes; clears faults on fully overwritten words.
+  [[nodiscard]] TrapKind write(u64 addr, const void* src, u32 n);
+
+  /// Host-side copies. d2h goes through the ECC read path on purpose: a
+  /// pending DBE in an output buffer surfaces when results are copied back,
+  /// just as cudaMemcpy returns an ECC error on real hardware.
+  [[nodiscard]] TrapKind copy_to_device(u64 dst, const void* src, u64 n);
+  [[nodiscard]] TrapKind copy_to_host(void* dst, u64 src, u64 n);
+  [[nodiscard]] TrapKind fill(u64 dst, u8 value, u64 n);
+
+  /// Records an upset: XORs `flip_mask` into the fault mask of the 32-bit
+  /// word containing byte address `addr`.
+  void inject_fault(u64 addr, u32 flip_mask);
+
+  [[nodiscard]] std::size_t fault_count() const { return faults_.size(); }
+  [[nodiscard]] const ecc::EccCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+  /// Range check without side effects (used by the address validator).
+  [[nodiscard]] bool in_bounds(u64 addr, u64 n) const {
+    return addr >= kBaseAddress && n <= brk_ && addr <= brk_ - n;
+  }
+
+ private:
+  [[nodiscard]] u8* backing(u64 addr) {
+    return data_.data() + (addr - kBaseAddress);
+  }
+
+  u64 capacity_;
+  ecc::EccMode mode_;
+  u64 brk_ = kBaseAddress;
+  std::vector<u8> data_;  ///< backing store for [kBaseAddress, brk_)
+  std::unordered_map<u64, u32> faults_;  ///< word index -> flipped-bit mask
+  ecc::EccCounters counters_;
+};
+
+}  // namespace gfi::sim

@@ -1,0 +1,17 @@
+#include "sassim/profiler.h"
+
+namespace gfi::sim {
+
+void Profile::merge(const Profile& other) {
+  for (std::size_t i = 0; i < warp_instrs_by_opcode.size(); ++i) {
+    warp_instrs_by_opcode[i] += other.warp_instrs_by_opcode[i];
+  }
+  for (std::size_t i = 0; i < warp_instrs_by_group.size(); ++i) {
+    warp_instrs_by_group[i] += other.warp_instrs_by_group[i];
+    thread_instrs_by_group[i] += other.thread_instrs_by_group[i];
+  }
+  total_warp_instrs += other.total_warp_instrs;
+  total_thread_instrs += other.total_thread_instrs;
+}
+
+}  // namespace gfi::sim

@@ -1,0 +1,56 @@
+// A linked, validated kernel: the unit the simulator launches.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sassim/isa.h"
+
+namespace gfi::sim {
+
+/// An immutable instruction sequence plus the static resources it needs.
+/// Built by KernelBuilder (which resolves labels and validates), then shared
+/// read-only across any number of launches — including concurrent launches
+/// on different host threads during injection campaigns.
+class Program {
+ public:
+  Program() = default;
+  Program(std::string name, std::vector<Instr> code, u16 num_regs,
+          u32 shared_bytes, u32 num_params)
+      : name_(std::move(name)),
+        code_(std::move(code)),
+        num_regs_(num_regs),
+        shared_bytes_(shared_bytes),
+        num_params_(num_params) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Instr>& code() const { return code_; }
+  [[nodiscard]] std::size_t size() const { return code_.size(); }
+  [[nodiscard]] const Instr& at(std::size_t pc) const { return code_[pc]; }
+
+  /// Highest GPR index used + 1 (occupancy input; RZ excluded).
+  [[nodiscard]] u16 num_regs() const { return num_regs_; }
+  /// Static shared memory required per CTA.
+  [[nodiscard]] u32 shared_bytes() const { return shared_bytes_; }
+  /// Number of 64-bit kernel parameters expected at launch.
+  [[nodiscard]] u32 num_params() const { return num_params_; }
+
+  /// Full SASS-like disassembly listing.
+  [[nodiscard]] std::string disassemble() const;
+
+  /// Static sanity checks: targets in range, register/predicate indices
+  /// valid, operand arity consistent with opcode, SSY targets point at SYNC.
+  [[nodiscard]] Status validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Instr> code_;
+  u16 num_regs_ = 0;
+  u32 shared_bytes_ = 0;
+  u32 num_params_ = 0;
+};
+
+}  // namespace gfi::sim

@@ -1,0 +1,1003 @@
+#include "sassim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <memory>
+
+#include "common/bitutil.h"
+
+namespace gfi::sim {
+namespace {
+
+constexpr u64 kDefaultWatchdog = 256ULL << 20;  // 256M warp instructions
+constexpr u32 kFullMask = 0xffffffffu;
+
+/// Integer compare dispatch for ISETP (and address compares).
+bool int_compare(CmpOp cmp, u64 a, u64 b, DType dtype) {
+  if (dtype == DType::kS32) {
+    const i32 sa = static_cast<i32>(static_cast<u32>(a));
+    const i32 sb = static_cast<i32>(static_cast<u32>(b));
+    switch (cmp) {
+      case CmpOp::kLt: return sa < sb;
+      case CmpOp::kLe: return sa <= sb;
+      case CmpOp::kGt: return sa > sb;
+      case CmpOp::kGe: return sa >= sb;
+      case CmpOp::kEq: return sa == sb;
+      case CmpOp::kNe: return sa != sb;
+    }
+  }
+  if (dtype == DType::kU32) {
+    a = static_cast<u32>(a);
+    b = static_cast<u32>(b);
+  }
+  switch (cmp) {
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+  }
+  return false;
+}
+
+template <typename F>
+bool fp_compare(CmpOp cmp, F a, F b) {
+  switch (cmp) {
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+  }
+  return false;
+}
+
+f32 mufu_eval(MufuKind kind, f32 x) {
+  switch (kind) {
+    case MufuKind::kRcp: return 1.0f / x;
+    case MufuKind::kSqrt: return std::sqrt(x);
+    case MufuKind::kRsq: return 1.0f / std::sqrt(x);
+    case MufuKind::kExp2: return std::exp2(x);
+    case MufuKind::kLog2: return std::log2(x);
+    case MufuKind::kSin: return std::sin(x);
+    case MufuKind::kCos: return std::cos(x);
+  }
+  return x;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CTA state
+// ---------------------------------------------------------------------------
+
+struct Simulator::Cta {
+  u32 linear_id = 0;
+  Dim3 ctaid;
+  std::vector<WarpState> warps;
+  std::vector<u8> shared;
+
+  [[nodiscard]] bool finished() const {
+    for (const auto& warp : warps) {
+      if (!warp.done()) return false;
+    }
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Launch engine
+// ---------------------------------------------------------------------------
+
+struct Simulator::Engine {
+  const MachineConfig& cfg;
+  GlobalMemory& mem;
+  const Program& prog;
+  Dim3 grid;
+  Dim3 block;
+  std::span<const u64> params;
+  const LaunchOptions& opts;
+
+  u32 threads_per_cta = 0;
+  u32 warps_per_cta = 0;
+  u64 watchdog = kDefaultWatchdog;
+
+  u64 dyn_warp = 0;
+  u64 dyn_thread = 0;
+  u64 cycle = 0;
+  Trap trap;
+
+  Engine(const MachineConfig& cfg_in, GlobalMemory& mem_in,
+         const Program& prog_in, Dim3 grid_in, Dim3 block_in,
+         std::span<const u64> params_in, const LaunchOptions& opts_in)
+      : cfg(cfg_in),
+        mem(mem_in),
+        prog(prog_in),
+        grid(grid_in),
+        block(block_in),
+        params(params_in),
+        opts(opts_in) {}
+
+  // ---- operand access -----------------------------------------------------
+
+  [[nodiscard]] static bool is_wide(DType dtype) {
+    return dtype == DType::kU64 || dtype == DType::kF64;
+  }
+
+  u64 read_operand(const WarpState& warp, u32 lane, const Operand& operand,
+                   DType dtype) const {
+    switch (operand.kind) {
+      case OperandKind::kImm:
+        return operand.imm;
+      case OperandKind::kReg:
+        return is_wide(dtype) ? warp.reg64(lane, operand.index)
+                              : warp.reg(lane, operand.index);
+      case OperandKind::kPred:
+        return warp.pred(lane, static_cast<u8>(operand.index)) !=
+               operand.negated;
+      case OperandKind::kNone:
+        return 0;
+    }
+    return 0;
+  }
+
+  static void write_dst(WarpState& warp, u32 lane, const Instr& instr,
+                        u64 value) {
+    if (is_wide(instr.dtype)) {
+      warp.set_reg64(lane, instr.dst.index, value);
+    } else {
+      warp.set_reg(lane, instr.dst.index, lo32(value));
+    }
+  }
+
+  // ---- special registers ----------------------------------------------------
+
+  u32 special_value(const Cta& cta, const WarpState& warp, u32 lane,
+                    SpecialReg sr) const {
+    const u32 lin = warp.warp_in_cta() * kWarpSize + lane;
+    switch (sr) {
+      case SpecialReg::kTidX: return lin % block.x;
+      case SpecialReg::kTidY: return (lin / block.x) % block.y;
+      case SpecialReg::kTidZ: return lin / (block.x * block.y);
+      case SpecialReg::kCtaidX: return cta.ctaid.x;
+      case SpecialReg::kCtaidY: return cta.ctaid.y;
+      case SpecialReg::kCtaidZ: return cta.ctaid.z;
+      case SpecialReg::kNtidX: return block.x;
+      case SpecialReg::kNtidY: return block.y;
+      case SpecialReg::kNtidZ: return block.z;
+      case SpecialReg::kNctaidX: return grid.x;
+      case SpecialReg::kNctaidY: return grid.y;
+      case SpecialReg::kNctaidZ: return grid.z;
+      case SpecialReg::kLaneId: return lane;
+      case SpecialReg::kWarpId: return warp.warp_in_cta();
+    }
+    return 0;
+  }
+
+  // ---- trap helper -----------------------------------------------------------
+
+  TrapKind fire(TrapKind kind, const Cta& cta, const WarpState& warp,
+                u64 address = 0) {
+    trap.kind = kind;
+    trap.address = address;
+    trap.pc = warp.pc;
+    trap.cta = cta.linear_id;
+    trap.warp = warp.warp_in_cta();
+    return kind;
+  }
+
+  // ---- one dynamic warp instruction -----------------------------------------
+
+  TrapKind exec_instr(Cta& cta, WarpState& warp) {
+    const Instr& instr = prog.at(warp.pc);
+
+    InstrContext ctx;
+    ctx.instr = &instr;
+    ctx.group = instr_group(instr);
+    ctx.dyn_index = dyn_warp;
+    ctx.cta = cta.linear_id;
+    ctx.warp = warp.warp_in_cta();
+    ctx.warp_state = &warp;
+
+    auto guard_mask = [&]() {
+      u32 mask = 0;
+      for (u32 lane = 0; lane < kWarpSize; ++lane) {
+        if (!((warp.active() >> lane) & 1u)) continue;
+        if (warp.pred(lane, instr.guard_pred) != instr.guard_negated) {
+          mask |= 1u << lane;
+        }
+      }
+      return mask;
+    };
+
+    ctx.exec_mask = guard_mask();
+    ++dyn_warp;
+    dyn_thread += static_cast<u64>(std::popcount(ctx.exec_mask));
+
+    for (InstrumentHook* hook : opts.hooks) {
+      hook->on_before_instr(ctx);
+      if (ctx.requested_trap != TrapKind::kNone) {
+        return fire(ctx.requested_trap, cta, warp);
+      }
+    }
+    // Hooks may have mutated predicates (predicate-register injection);
+    // recompute the executed lane set so the corruption takes effect.
+    const u32 exec = guard_mask();
+    ctx.exec_mask = exec;
+
+    TrapKind result = dispatch(cta, warp, instr, exec, ctx);
+    if (result != TrapKind::kNone) return result;
+
+    for (InstrumentHook* hook : opts.hooks) {
+      hook->on_after_instr(ctx);
+      if (ctx.requested_trap != TrapKind::kNone) {
+        return fire(ctx.requested_trap, cta, warp);
+      }
+    }
+    return TrapKind::kNone;
+  }
+
+  // Executes `instr` for lanes in `exec`; manages the PC.
+  TrapKind dispatch(Cta& cta, WarpState& warp, const Instr& instr, u32 exec,
+                    InstrContext& ctx) {
+    auto for_each_lane = [&](auto&& body) {
+      for (u32 lane = 0; lane < kWarpSize; ++lane) {
+        if ((exec >> lane) & 1u) body(lane);
+      }
+    };
+    auto src = [&](u32 lane, int i, DType dtype) {
+      return read_operand(warp, lane, instr.src[i], dtype);
+    };
+
+    switch (instr.op) {
+      // ---- control ------------------------------------------------------
+      case Opcode::kNop:
+        break;
+
+      case Opcode::kExit: {
+        const u32 rest = warp.active() & ~exec;
+        warp.retire_lanes(exec);
+        if (rest != 0) ++warp.pc;
+        return TrapKind::kNone;
+      }
+
+      case Opcode::kSsy:
+        warp.stack().push_back({warp.active(), static_cast<u32>(instr.target),
+                                StackEntry::Kind::kSsy});
+        break;
+
+      case Opcode::kBra: {
+        const u32 taken = exec;
+        const u32 not_taken = warp.active() & ~exec;
+        if (taken == 0) {
+          ++warp.pc;
+        } else if (not_taken == 0) {
+          warp.pc = static_cast<u32>(instr.target);
+        } else {
+          warp.stack().push_back({taken, static_cast<u32>(instr.target),
+                                  StackEntry::Kind::kDiv});
+          warp.set_active(not_taken);
+          ++warp.pc;
+        }
+        return TrapKind::kNone;
+      }
+
+      case Opcode::kSync: {
+        if (warp.stack().empty()) {
+          return fire(TrapKind::kIllegalInstruction, cta, warp);
+        }
+        const StackEntry entry = warp.stack().back();
+        warp.stack().pop_back();
+        if (entry.kind == StackEntry::Kind::kDiv && entry.mask != 0) {
+          warp.set_active(entry.mask);
+          warp.pc = entry.pc;
+        } else if (entry.kind == StackEntry::Kind::kSsy) {
+          warp.set_active(entry.mask);
+          ++warp.pc;
+        } else {
+          ++warp.pc;  // emptied divergence entry: fall through
+        }
+        return TrapKind::kNone;
+      }
+
+      case Opcode::kBar: {
+        warp.at_barrier = true;
+        ++warp.pc;
+        // Release when every warp that can still arrive has arrived.
+        bool all_arrived = true;
+        for (const auto& other : cta.warps) {
+          if (!other.done() && !other.at_barrier) {
+            all_arrived = false;
+            break;
+          }
+        }
+        if (all_arrived) {
+          for (auto& other : cta.warps) other.at_barrier = false;
+        }
+        return TrapKind::kNone;
+      }
+
+      // ---- moves / selects ------------------------------------------------
+      case Opcode::kMov:
+        for_each_lane([&](u32 lane) {
+          write_dst(warp, lane, instr, src(lane, 0, instr.dtype));
+        });
+        break;
+
+      case Opcode::kSel:
+        for_each_lane([&](u32 lane) {
+          const bool take = read_operand(warp, lane, instr.src[2],
+                                         DType::kU32) != 0;
+          write_dst(warp, lane, instr,
+                    take ? src(lane, 0, instr.dtype) : src(lane, 1, instr.dtype));
+        });
+        break;
+
+      case Opcode::kS2r:
+        for_each_lane([&](u32 lane) {
+          warp.set_reg(lane, instr.dst.index,
+                       special_value(cta, warp, lane,
+                                     static_cast<SpecialReg>(instr.sub)));
+        });
+        break;
+
+      case Opcode::kLdc: {
+        const u64 idx = instr.src[0].imm;
+        if (idx >= params.size()) {
+          return fire(TrapKind::kIllegalInstruction, cta, warp);
+        }
+        const u64 value = params[idx];
+        for_each_lane([&](u32 lane) { write_dst(warp, lane, instr, value); });
+        break;
+      }
+
+      // ---- integer ALU ----------------------------------------------------
+      case Opcode::kIAdd:
+        for_each_lane([&](u32 lane) {
+          write_dst(warp, lane, instr,
+                    src(lane, 0, instr.dtype) + src(lane, 1, instr.dtype));
+        });
+        break;
+
+      case Opcode::kIMul:
+        for_each_lane([&](u32 lane) {
+          write_dst(warp, lane, instr,
+                    src(lane, 0, instr.dtype) * src(lane, 1, instr.dtype));
+        });
+        break;
+
+      case Opcode::kIMad:
+        for_each_lane([&](u32 lane) {
+          if (instr.dtype == DType::kU64) {
+            // IMAD.WIDE: 32x32-bit product added to a 64-bit accumulator —
+            // the canonical SASS address-computation idiom.
+            const u64 a = static_cast<u32>(src(lane, 0, DType::kU32));
+            const u64 b = static_cast<u32>(src(lane, 1, DType::kU32));
+            write_dst(warp, lane, instr, a * b + src(lane, 2, DType::kU64));
+          } else {
+            write_dst(warp, lane, instr,
+                      src(lane, 0, instr.dtype) * src(lane, 1, instr.dtype) +
+                          src(lane, 2, instr.dtype));
+          }
+        });
+        break;
+
+      case Opcode::kIMnmx:
+        for_each_lane([&](u32 lane) {
+          const u64 a = src(lane, 0, instr.dtype);
+          const u64 b = src(lane, 1, instr.dtype);
+          const bool a_less = int_compare(CmpOp::kLt, a, b, instr.dtype);
+          const bool want_min = instr.sub == static_cast<u8>(MinMax::kMin);
+          write_dst(warp, lane, instr, (a_less == want_min) ? a : b);
+        });
+        break;
+
+      case Opcode::kISetp:
+        for_each_lane([&](u32 lane) {
+          const bool value =
+              int_compare(static_cast<CmpOp>(instr.sub),
+                          src(lane, 0, instr.dtype), src(lane, 1, instr.dtype),
+                          instr.dtype);
+          warp.set_pred(lane, static_cast<u8>(instr.dst.index), value);
+        });
+        break;
+
+      case Opcode::kLop:
+        for_each_lane([&](u32 lane) {
+          const u64 a = src(lane, 0, instr.dtype);
+          const u64 b = src(lane, 1, instr.dtype);
+          u64 value = 0;
+          switch (static_cast<LopKind>(instr.sub)) {
+            case LopKind::kAnd: value = a & b; break;
+            case LopKind::kOr: value = a | b; break;
+            case LopKind::kXor: value = a ^ b; break;
+            case LopKind::kNot: value = ~a; break;
+          }
+          write_dst(warp, lane, instr, value);
+        });
+        break;
+
+      case Opcode::kShf:
+        for_each_lane([&](u32 lane) {
+          const u64 a = src(lane, 0, instr.dtype);
+          const u32 amount = static_cast<u32>(src(lane, 1, DType::kU32)) &
+                             (is_wide(instr.dtype) ? 63u : 31u);
+          u64 value = 0;
+          switch (static_cast<ShiftKind>(instr.sub)) {
+            case ShiftKind::kLeft:
+              value = a << amount;
+              break;
+            case ShiftKind::kRightLogical:
+              value = (is_wide(instr.dtype) ? a : static_cast<u64>(static_cast<u32>(a))) >> amount;
+              break;
+            case ShiftKind::kRightArith:
+              if (is_wide(instr.dtype)) {
+                value = static_cast<u64>(static_cast<i64>(a) >> amount);
+              } else {
+                value = static_cast<u32>(
+                    static_cast<i32>(static_cast<u32>(a)) >> amount);
+              }
+              break;
+          }
+          write_dst(warp, lane, instr, value);
+        });
+        break;
+
+      case Opcode::kPopc:
+        for_each_lane([&](u32 lane) {
+          const u64 a = src(lane, 0, instr.dtype);
+          write_dst(warp, lane, instr,
+                    static_cast<u64>(std::popcount(
+                        is_wide(instr.dtype) ? a : static_cast<u64>(static_cast<u32>(a)))));
+        });
+        break;
+
+      // ---- floating point ---------------------------------------------------
+      case Opcode::kFAdd:
+      case Opcode::kFMul:
+      case Opcode::kFMnmx:
+        for_each_lane([&](u32 lane) {
+          if (instr.dtype == DType::kF64) {
+            const f64 a = bits_f64(src(lane, 0, DType::kF64));
+            const f64 b = bits_f64(src(lane, 1, DType::kF64));
+            f64 value = 0;
+            if (instr.op == Opcode::kFAdd) value = a + b;
+            else if (instr.op == Opcode::kFMul) value = a * b;
+            else value = instr.sub == static_cast<u8>(MinMax::kMin)
+                             ? std::fmin(a, b) : std::fmax(a, b);
+            write_dst(warp, lane, instr, f64_bits(value));
+          } else {
+            const f32 a = bits_f32(static_cast<u32>(src(lane, 0, DType::kF32)));
+            const f32 b = bits_f32(static_cast<u32>(src(lane, 1, DType::kF32)));
+            f32 value = 0;
+            if (instr.op == Opcode::kFAdd) value = a + b;
+            else if (instr.op == Opcode::kFMul) value = a * b;
+            else value = instr.sub == static_cast<u8>(MinMax::kMin)
+                             ? std::fmin(a, b) : std::fmax(a, b);
+            write_dst(warp, lane, instr, f32_bits(value));
+          }
+        });
+        break;
+
+      case Opcode::kFFma:
+        for_each_lane([&](u32 lane) {
+          if (instr.dtype == DType::kF64) {
+            const f64 a = bits_f64(src(lane, 0, DType::kF64));
+            const f64 b = bits_f64(src(lane, 1, DType::kF64));
+            const f64 c = bits_f64(src(lane, 2, DType::kF64));
+            write_dst(warp, lane, instr, f64_bits(std::fma(a, b, c)));
+          } else {
+            const f32 a = bits_f32(static_cast<u32>(src(lane, 0, DType::kF32)));
+            const f32 b = bits_f32(static_cast<u32>(src(lane, 1, DType::kF32)));
+            const f32 c = bits_f32(static_cast<u32>(src(lane, 2, DType::kF32)));
+            write_dst(warp, lane, instr, f32_bits(std::fmaf(a, b, c)));
+          }
+        });
+        break;
+
+      case Opcode::kFSetp:
+        for_each_lane([&](u32 lane) {
+          bool value = false;
+          if (instr.dtype == DType::kF64) {
+            value = fp_compare(static_cast<CmpOp>(instr.sub),
+                               bits_f64(src(lane, 0, DType::kF64)),
+                               bits_f64(src(lane, 1, DType::kF64)));
+          } else {
+            value = fp_compare(
+                static_cast<CmpOp>(instr.sub),
+                bits_f32(static_cast<u32>(src(lane, 0, DType::kF32))),
+                bits_f32(static_cast<u32>(src(lane, 1, DType::kF32))));
+          }
+          warp.set_pred(lane, static_cast<u8>(instr.dst.index), value);
+        });
+        break;
+
+      case Opcode::kMufu:
+        for_each_lane([&](u32 lane) {
+          const f32 x = bits_f32(static_cast<u32>(src(lane, 0, DType::kF32)));
+          write_dst(warp, lane, instr,
+                    f32_bits(mufu_eval(static_cast<MufuKind>(instr.sub), x)));
+        });
+        break;
+
+      case Opcode::kF2I:
+        for_each_lane([&](u32 lane) {
+          f64 x = 0;
+          if (instr.dtype == DType::kF64) {
+            x = bits_f64(src(lane, 0, DType::kF64));
+          } else {
+            x = bits_f32(static_cast<u32>(src(lane, 0, DType::kF32)));
+          }
+          i32 value = 0;
+          if (std::isnan(x)) value = 0;
+          else if (x >= 2147483647.0) value = std::numeric_limits<i32>::max();
+          else if (x <= -2147483648.0) value = std::numeric_limits<i32>::min();
+          else value = static_cast<i32>(x);
+          warp.set_reg(lane, instr.dst.index, static_cast<u32>(value));
+        });
+        break;
+
+      case Opcode::kI2F:
+        for_each_lane([&](u32 lane) {
+          const i32 x = static_cast<i32>(
+              static_cast<u32>(src(lane, 0, DType::kS32)));
+          if (instr.dtype == DType::kF64) {
+            write_dst(warp, lane, instr, f64_bits(static_cast<f64>(x)));
+          } else {
+            write_dst(warp, lane, instr, f32_bits(static_cast<f32>(x)));
+          }
+        });
+        break;
+
+      case Opcode::kF2F:
+        for_each_lane([&](u32 lane) {
+          if (instr.dtype == DType::kF64) {  // widen F32 -> F64
+            const f32 x = bits_f32(static_cast<u32>(src(lane, 0, DType::kF32)));
+            write_dst(warp, lane, instr, f64_bits(static_cast<f64>(x)));
+          } else {  // narrow F64 -> F32
+            const f64 x = bits_f64(src(lane, 0, DType::kF64));
+            write_dst(warp, lane, instr, f32_bits(static_cast<f32>(x)));
+          }
+        });
+        break;
+
+      // ---- memory --------------------------------------------------------
+      case Opcode::kLdg:
+      case Opcode::kStg: {
+        const u32 width = instr.mem_width;
+        for (u32 lane = 0; lane < kWarpSize; ++lane) {
+          if (!((exec >> lane) & 1u)) continue;
+          u64 addr = read_operand(warp, lane, instr.src[0], DType::kU64);
+          if (instr.src[1].is_imm()) addr += instr.src[1].imm;
+          if (instr.op == Opcode::kStg) {
+            for (InstrumentHook* hook : opts.hooks) {
+              addr = hook->transform_store_address(addr, ctx, lane);
+            }
+          }
+          if (addr % width != 0) {
+            return fire(TrapKind::kMisalignedAddress, cta, warp, addr);
+          }
+          u8 buffer[8] = {};
+          if (instr.op == Opcode::kLdg) {
+            if (TrapKind t = mem.read(addr, buffer, width); t != TrapKind::kNone) {
+              return fire(t, cta, warp, addr);
+            }
+            u64 value = 0;
+            std::memcpy(&value, buffer, width);
+            if (width == 8) {
+              warp.set_reg64(lane, instr.dst.index, value);
+            } else {
+              warp.set_reg(lane, instr.dst.index, static_cast<u32>(value));
+            }
+          } else {
+            u64 value = width == 8
+                            ? warp.reg64(lane, instr.src[2].index)
+                            : warp.reg(lane, instr.src[2].index);
+            std::memcpy(buffer, &value, width);
+            if (TrapKind t = mem.write(addr, buffer, width); t != TrapKind::kNone) {
+              return fire(t, cta, warp, addr);
+            }
+          }
+        }
+        break;
+      }
+
+      case Opcode::kLds:
+      case Opcode::kSts: {
+        const u32 width = instr.mem_width;
+        for (u32 lane = 0; lane < kWarpSize; ++lane) {
+          if (!((exec >> lane) & 1u)) continue;
+          u64 addr = static_cast<u32>(read_operand(warp, lane, instr.src[0],
+                                                   DType::kU32));
+          if (instr.src[1].is_imm()) addr += instr.src[1].imm;
+          if (addr % width != 0) {
+            return fire(TrapKind::kMisalignedAddress, cta, warp, addr);
+          }
+          if (addr + width > cta.shared.size()) {
+            return fire(TrapKind::kIllegalSharedAddress, cta, warp, addr);
+          }
+          if (instr.op == Opcode::kLds) {
+            u64 value = 0;
+            std::memcpy(&value, cta.shared.data() + addr, width);
+            if (width == 8) {
+              warp.set_reg64(lane, instr.dst.index, value);
+            } else {
+              warp.set_reg(lane, instr.dst.index, static_cast<u32>(value));
+            }
+          } else {
+            const u64 value = width == 8
+                                  ? warp.reg64(lane, instr.src[2].index)
+                                  : warp.reg(lane, instr.src[2].index);
+            std::memcpy(cta.shared.data() + addr, &value, width);
+          }
+        }
+        break;
+      }
+
+      case Opcode::kAtomG:
+      case Opcode::kAtomS: {
+        const bool global = instr.op == Opcode::kAtomG;
+        const u32 width = instr.mem_width;  // 4 only (u32/s32/f32)
+        for (u32 lane = 0; lane < kWarpSize; ++lane) {
+          if (!((exec >> lane) & 1u)) continue;
+          u64 addr = 0;
+          if (global) {
+            addr = read_operand(warp, lane, instr.src[0], DType::kU64);
+          } else {
+            addr = static_cast<u32>(
+                read_operand(warp, lane, instr.src[0], DType::kU32));
+          }
+          if (addr % width != 0) {
+            return fire(TrapKind::kMisalignedAddress, cta, warp, addr);
+          }
+          u32 old = 0;
+          if (global) {
+            if (TrapKind t = mem.read(addr, &old, width); t != TrapKind::kNone) {
+              return fire(t, cta, warp, addr);
+            }
+          } else {
+            if (addr + width > cta.shared.size()) {
+              return fire(TrapKind::kIllegalSharedAddress, cta, warp, addr);
+            }
+            std::memcpy(&old, cta.shared.data() + addr, width);
+          }
+          const u32 a = static_cast<u32>(
+              read_operand(warp, lane, instr.src[1], instr.dtype));
+          u32 updated = old;
+          switch (static_cast<AtomKind>(instr.sub)) {
+            case AtomKind::kAdd:
+              if (instr.dtype == DType::kF32) {
+                updated = f32_bits(bits_f32(old) + bits_f32(a));
+              } else {
+                updated = old + a;
+              }
+              break;
+            case AtomKind::kMin:
+              if (instr.dtype == DType::kF32) {
+                updated = f32_bits(std::fmin(bits_f32(old), bits_f32(a)));
+              } else if (instr.dtype == DType::kS32) {
+                updated = static_cast<u32>(std::min(static_cast<i32>(old),
+                                                    static_cast<i32>(a)));
+              } else {
+                updated = std::min(old, a);
+              }
+              break;
+            case AtomKind::kMax:
+              if (instr.dtype == DType::kF32) {
+                updated = f32_bits(std::fmax(bits_f32(old), bits_f32(a)));
+              } else if (instr.dtype == DType::kS32) {
+                updated = static_cast<u32>(std::max(static_cast<i32>(old),
+                                                    static_cast<i32>(a)));
+              } else {
+                updated = std::max(old, a);
+              }
+              break;
+            case AtomKind::kExch:
+              updated = a;
+              break;
+            case AtomKind::kCas: {
+              const u32 b = static_cast<u32>(
+                  read_operand(warp, lane, instr.src[2], instr.dtype));
+              updated = (old == a) ? b : old;
+              break;
+            }
+          }
+          if (global) {
+            if (TrapKind t = mem.write(addr, &updated, width);
+                t != TrapKind::kNone) {
+              return fire(t, cta, warp, addr);
+            }
+          } else {
+            std::memcpy(cta.shared.data() + addr, &updated, width);
+          }
+          if (instr.dst.is_reg() && instr.dst.index != kRegZ) {
+            warp.set_reg(lane, instr.dst.index, old);
+          }
+        }
+        break;
+      }
+
+      // ---- warp communication -------------------------------------------
+      case Opcode::kShfl: {
+        u32 gathered[kWarpSize] = {};
+        for (u32 lane = 0; lane < kWarpSize; ++lane) {
+          gathered[lane] = warp.reg(lane, instr.src[0].index);
+        }
+        for_each_lane([&](u32 lane) {
+          const u32 operand = static_cast<u32>(
+              read_operand(warp, lane, instr.src[1], DType::kU32));
+          i64 source = lane;
+          switch (static_cast<ShflKind>(instr.sub)) {
+            case ShflKind::kIdx: source = operand & 31u; break;
+            case ShflKind::kUp: source = static_cast<i64>(lane) - operand; break;
+            case ShflKind::kDown: source = static_cast<i64>(lane) + operand; break;
+            case ShflKind::kBfly: source = lane ^ operand; break;
+          }
+          u32 value = gathered[lane];
+          if (source >= 0 && source < kWarpSize &&
+              ((exec >> source) & 1u) != 0) {
+            value = gathered[source];
+          }
+          warp.set_reg(lane, instr.dst.index, value);
+        });
+        break;
+      }
+
+      case Opcode::kVote: {
+        u32 votes = 0;
+        for (u32 lane = 0; lane < kWarpSize; ++lane) {
+          if (((exec >> lane) & 1u) &&
+              read_operand(warp, lane, instr.src[0], DType::kU32) != 0) {
+            votes |= 1u << lane;
+          }
+        }
+        const auto kind = static_cast<VoteKind>(instr.sub);
+        for_each_lane([&](u32 lane) {
+          switch (kind) {
+            case VoteKind::kAll:
+              warp.set_pred(lane, static_cast<u8>(instr.dst.index),
+                            (votes & exec) == exec);
+              break;
+            case VoteKind::kAny:
+              warp.set_pred(lane, static_cast<u8>(instr.dst.index), votes != 0);
+              break;
+            case VoteKind::kBallot:
+              warp.set_reg(lane, instr.dst.index, votes);
+              break;
+          }
+        });
+        break;
+      }
+
+      // ---- tensor core ------------------------------------------------------
+      case Opcode::kHmma: {
+        if (exec != kFullMask) {
+          return fire(TrapKind::kIllegalInstruction, cta, warp);
+        }
+        // m16n8k8: A(16x8) in 4 regs/lane, B(8x8) in 2, C/D(16x8) in 4.
+        // Element e lives in lane (e % 32), slot (e / 32), row-major.
+        f32 a_frag[128];
+        f32 b_frag[64];
+        f32 c_frag[128];
+        for (u32 e = 0; e < 128; ++e) {
+          a_frag[e] = bits_f32(warp.reg(e % kWarpSize,
+                                        static_cast<u16>(instr.src[0].index + e / kWarpSize)));
+          c_frag[e] = bits_f32(warp.reg(e % kWarpSize,
+                                        static_cast<u16>(instr.src[2].index + e / kWarpSize)));
+        }
+        for (u32 e = 0; e < 64; ++e) {
+          b_frag[e] = bits_f32(warp.reg(e % kWarpSize,
+                                        static_cast<u16>(instr.src[1].index + e / kWarpSize)));
+        }
+        const bool tf32 = cfg.tensor_core_tf32;
+        for (u32 i = 0; i < 16; ++i) {
+          for (u32 j = 0; j < 8; ++j) {
+            f32 acc = c_frag[i * 8 + j];
+            for (u32 k = 0; k < 8; ++k) {
+              const f32 a = tf32 ? to_tf32(a_frag[i * 8 + k]) : a_frag[i * 8 + k];
+              const f32 b = tf32 ? to_tf32(b_frag[k * 8 + j]) : b_frag[k * 8 + j];
+              acc = std::fmaf(a, b, acc);
+            }
+            const u32 e = i * 8 + j;
+            warp.set_reg(e % kWarpSize,
+                         static_cast<u16>(instr.dst.index + e / kWarpSize),
+                         f32_bits(acc));
+          }
+        }
+        break;
+      }
+    }
+
+    ++warp.pc;
+    return TrapKind::kNone;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Launch: CTA scheduling over SMs
+// ---------------------------------------------------------------------------
+
+Result<LaunchResult> Simulator::launch(const Program& program, Dim3 grid,
+                                       Dim3 block, std::span<const u64> params,
+                                       const LaunchOptions& options) {
+  if (Status status = program.validate(); !status.is_ok()) return status;
+  if (grid.count() == 0 || block.count() == 0) {
+    return Status::invalid_argument("empty grid or block");
+  }
+  if (block.count() > 1024) {
+    return Status::invalid_argument("block exceeds 1024 threads");
+  }
+  if (params.size() < program.num_params()) {
+    return Status::invalid_argument(
+        "kernel '" + program.name() + "' expects " +
+        std::to_string(program.num_params()) + " params, got " +
+        std::to_string(params.size()));
+  }
+  const u32 threads_per_cta = static_cast<u32>(block.count());
+  const u32 occupancy = config_.ctas_per_sm(threads_per_cta, program.num_regs(),
+                                            program.shared_bytes());
+  if (occupancy == 0) {
+    return Status::invalid_argument("CTA footprint exceeds one SM (" +
+                                    program.name() + ")");
+  }
+
+  Engine engine(config_, memory_, program, grid, block, params, options);
+  engine.threads_per_cta = threads_per_cta;
+  engine.warps_per_cta = (threads_per_cta + kWarpSize - 1) / kWarpSize;
+  engine.watchdog =
+      options.watchdog_instrs ? options.watchdog_instrs : kDefaultWatchdog;
+
+  for (InstrumentHook* hook : options.hooks) hook->on_launch_begin(program);
+
+  const u64 total_ctas = grid.count();
+  u64 next_cta = 0;
+
+  auto make_cta = [&](u64 linear) {
+    auto cta = std::make_unique<Cta>();
+    cta->linear_id = static_cast<u32>(linear);
+    cta->ctaid = Dim3(static_cast<u32>(linear % grid.x),
+                      static_cast<u32>((linear / grid.x) % grid.y),
+                      static_cast<u32>(linear / (static_cast<u64>(grid.x) * grid.y)));
+    cta->shared.assign(program.shared_bytes(), 0);
+    cta->warps.reserve(engine.warps_per_cta);
+    u32 remaining = threads_per_cta;
+    for (u32 w = 0; w < engine.warps_per_cta; ++w) {
+      const u32 lanes = std::min(remaining, kWarpSize);
+      const u32 mask = lanes == kWarpSize ? kFullMask : ((1u << lanes) - 1u);
+      cta->warps.emplace_back(w, program.num_regs(), mask);
+      remaining -= lanes;
+    }
+    return cta;
+  };
+
+  std::vector<std::vector<std::unique_ptr<Cta>>> resident(config_.num_sms);
+  u64 resident_count = 0;
+  auto admit = [&](u32 sm) {
+    while (resident[sm].size() < occupancy && next_cta < total_ctas) {
+      resident[sm].push_back(make_cta(next_cta++));
+      ++resident_count;
+    }
+  };
+  for (u32 sm = 0; sm < config_.num_sms; ++sm) admit(sm);
+
+  LaunchResult result;
+  const LatencyTable& latencies = config_.latencies;
+
+  while (resident_count > 0) {
+    bool issued_any = false;
+
+    for (u32 sm = 0; sm < config_.num_sms; ++sm) {
+      u32 budget = config_.issue_width;
+      for (auto& cta : resident[sm]) {
+        if (budget == 0) break;
+        for (auto& warp : cta->warps) {
+          if (budget == 0) break;
+          if (warp.done() || warp.at_barrier || warp.ready_cycle > engine.cycle) {
+            continue;
+          }
+          const Opcode op = program.at(warp.pc).op;
+          const TrapKind trapped = engine.exec_instr(*cta, warp);
+          issued_any = true;
+          --budget;
+          if (trapped != TrapKind::kNone) {
+            result.trap = engine.trap;
+            result.dyn_warp_instrs = engine.dyn_warp;
+            result.dyn_thread_instrs = engine.dyn_thread;
+            result.cycles = engine.cycle;
+            result.ecc = memory_.counters();
+            for (InstrumentHook* hook : options.hooks) hook->on_launch_end();
+            return result;
+          }
+          if (warp.done()) {
+            // A warp that just retired can release siblings parked at a
+            // barrier (they no longer need to wait for it).
+            bool all_arrived = true;
+            for (const auto& other : cta->warps) {
+              if (!other.done() && !other.at_barrier) {
+                all_arrived = false;
+                break;
+              }
+            }
+            if (all_arrived) {
+              for (auto& other : cta->warps) other.at_barrier = false;
+            }
+          }
+          u8 latency = latencies.of(op);
+          if (op == Opcode::kLdg || op == Opcode::kAtomG) {
+            latency = static_cast<u8>(
+                std::min<u32>(255, config_.mem_latency_cycles));
+          } else if (op == Opcode::kLds || op == Opcode::kAtomS) {
+            latency = static_cast<u8>(
+                std::min<u32>(255, config_.shared_latency_cycles));
+          }
+          warp.ready_cycle = engine.cycle + latency;
+          if (engine.dyn_warp >= engine.watchdog) {
+            result.trap = Trap{TrapKind::kWatchdogTimeout, 0, warp.pc,
+                               cta->linear_id, warp.warp_in_cta()};
+            result.dyn_warp_instrs = engine.dyn_warp;
+            result.dyn_thread_instrs = engine.dyn_thread;
+            result.cycles = engine.cycle;
+            result.ecc = memory_.counters();
+            for (InstrumentHook* hook : options.hooks) hook->on_launch_end();
+            return result;
+          }
+        }
+      }
+
+      // Retire finished CTAs and backfill from the grid.
+      auto& pool = resident[sm];
+      for (auto it = pool.begin(); it != pool.end();) {
+        if ((*it)->finished()) {
+          it = pool.erase(it);
+          --resident_count;
+        } else {
+          ++it;
+        }
+      }
+      admit(sm);
+    }
+
+    if (issued_any) {
+      ++engine.cycle;
+    } else {
+      // Fast-forward to the earliest moment any warp becomes ready.
+      u64 earliest = std::numeric_limits<u64>::max();
+      for (const auto& pool : resident) {
+        for (const auto& cta : pool) {
+          for (const auto& warp : cta->warps) {
+            if (warp.done() || warp.at_barrier) continue;
+            earliest = std::min(earliest, warp.ready_cycle);
+          }
+        }
+      }
+      if (earliest == std::numeric_limits<u64>::max()) {
+        // Every live warp is parked at a barrier with no one left to arrive:
+        // a barrier deadlock (possible under control-flow corruption).
+        Trap deadlock;
+        deadlock.kind = TrapKind::kBarrierDivergence;
+        result.trap = deadlock;
+        result.dyn_warp_instrs = engine.dyn_warp;
+        result.dyn_thread_instrs = engine.dyn_thread;
+        result.cycles = engine.cycle;
+        result.ecc = memory_.counters();
+        for (InstrumentHook* hook : options.hooks) hook->on_launch_end();
+        return result;
+      }
+      engine.cycle = std::max(earliest, engine.cycle + 1);
+    }
+  }
+
+  result.dyn_warp_instrs = engine.dyn_warp;
+  result.dyn_thread_instrs = engine.dyn_thread;
+  result.cycles = engine.cycle;
+  result.ecc = memory_.counters();
+  for (InstrumentHook* hook : options.hooks) hook->on_launch_end();
+  return result;
+}
+
+}  // namespace gfi::sim

@@ -1,0 +1,70 @@
+// The SIMT execution engine: schedules CTAs over SMs, executes warps
+// instruction-by-instruction with full divergence/barrier/atomic semantics,
+// drives instrumentation hooks, and reports timing and traps.
+//
+// A launch is strictly deterministic: CTAs are assigned to SMs in linear
+// order, SMs issue in fixed order within a global cycle loop, and lanes of
+// a memory/atomic instruction access memory in lane order. Determinism is
+// what makes single-fault injection campaigns exactly replayable.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "ecc/protection.h"
+#include "sassim/instrument.h"
+#include "sassim/machine_config.h"
+#include "sassim/memory.h"
+#include "sassim/program.h"
+#include "sassim/trap.h"
+#include "sassim/warp.h"
+
+namespace gfi::sim {
+
+/// Per-launch options.
+struct LaunchOptions {
+  /// Abort with kWatchdogTimeout after this many dynamic warp instructions.
+  /// 0 selects the default (256M).
+  u64 watchdog_instrs = 0;
+  /// Instrumentation hooks, invoked in order around every instruction.
+  std::vector<InstrumentHook*> hooks;
+};
+
+/// Outcome of one kernel launch.
+struct LaunchResult {
+  Trap trap;  ///< fired() when the launch aborted (DUE/hang)
+  u64 dyn_warp_instrs = 0;    ///< dynamic warp instructions executed
+  u64 dyn_thread_instrs = 0;  ///< sum of active lanes over those
+  u64 cycles = 0;             ///< timing-model cycles
+  ecc::EccCounters ecc;       ///< ECC events observed during the launch
+
+  [[nodiscard]] bool ok() const { return !trap.fired(); }
+  /// Wall-model execution time given the arch's SM clock.
+  [[nodiscard]] f64 time_us(const MachineConfig& config) const {
+    return static_cast<f64>(cycles) / (config.sm_clock_ghz * 1e3);
+  }
+};
+
+class Simulator {
+ public:
+  Simulator(const MachineConfig& config, GlobalMemory& memory)
+      : config_(config), memory_(memory) {}
+
+  /// Runs `program` over `grid` x `block` threads. `params` are the 64-bit
+  /// kernel parameters readable via LDC. Returns launch statistics; traps
+  /// are reported in the result, launch-setup errors in the Status.
+  Result<LaunchResult> launch(const Program& program, Dim3 grid, Dim3 block,
+                              std::span<const u64> params,
+                              const LaunchOptions& options = {});
+
+ private:
+  struct Cta;
+  struct Engine;
+
+  const MachineConfig& config_;
+  GlobalMemory& memory_;
+};
+
+}  // namespace gfi::sim

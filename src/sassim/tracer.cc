@@ -1,0 +1,62 @@
+#include "sassim/tracer.h"
+
+#include <sstream>
+
+namespace gfi::sim {
+
+std::string TraceEntry::to_string() const {
+  std::ostringstream out;
+  out << "#" << dyn_index << " cta" << cta << "/w" << warp << " pc=" << pc
+      << " " << opcode_name(op) << " [" << group_name(group) << "] mask=0x"
+      << std::hex << exec_mask;
+  return out.str();
+}
+
+TracerHook::Filter TracerHook::only_warp(u32 cta, u32 warp) {
+  return [cta, warp](const TraceEntry& entry) {
+    return entry.cta == cta && entry.warp == warp;
+  };
+}
+
+TracerHook::Filter TracerHook::only_group(InstrGroup group) {
+  return [group](const TraceEntry& entry) { return entry.group == group; };
+}
+
+TracerHook::Filter TracerHook::window(u64 first_dyn, u64 last_dyn) {
+  return [first_dyn, last_dyn](const TraceEntry& entry) {
+    return entry.dyn_index >= first_dyn && entry.dyn_index <= last_dyn;
+  };
+}
+
+void TracerHook::on_before_instr(InstrContext& ctx) {
+  ++seen_;
+  TraceEntry entry;
+  entry.dyn_index = ctx.dyn_index;
+  entry.cta = ctx.cta;
+  entry.warp = ctx.warp;
+  entry.pc = ctx.warp_state ? ctx.warp_state->pc : 0;
+  entry.op = ctx.instr->op;
+  entry.group = ctx.group;
+  entry.exec_mask = ctx.exec_mask;
+  if (filter_ && !filter_(entry)) return;
+  if (entries_.size() >= max_entries_) {
+    truncated_ = true;
+    return;
+  }
+  entries_.push_back(entry);
+}
+
+void TracerHook::clear() {
+  entries_.clear();
+  seen_ = 0;
+  truncated_ = false;
+}
+
+std::string TracerHook::to_string() const {
+  std::ostringstream out;
+  for (const TraceEntry& entry : entries_) out << entry.to_string() << "\n";
+  if (truncated_) out << "... (truncated)\n";
+  return out.str();
+}
+
+}  // namespace gfi::sim

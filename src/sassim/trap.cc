@@ -1,0 +1,35 @@
+#include "sassim/trap.h"
+
+#include <sstream>
+
+namespace gfi::sim {
+
+const char* trap_kind_name(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::kNone: return "none";
+    case TrapKind::kIllegalGlobalAddress: return "illegal-global-address";
+    case TrapKind::kMisalignedAddress: return "misaligned-address";
+    case TrapKind::kIllegalSharedAddress: return "illegal-shared-address";
+    case TrapKind::kEccDoubleBit: return "ecc-double-bit";
+    case TrapKind::kWatchdogTimeout: return "watchdog-timeout";
+    case TrapKind::kIllegalInstruction: return "illegal-instruction";
+    case TrapKind::kBarrierDivergence: return "barrier-divergence";
+  }
+  return "?";
+}
+
+std::string Trap::to_string() const {
+  if (!fired()) return "no trap";
+  std::ostringstream out;
+  out << trap_kind_name(kind) << " at pc=" << pc << " cta=" << cta
+      << " warp=" << warp;
+  if (kind == TrapKind::kIllegalGlobalAddress ||
+      kind == TrapKind::kMisalignedAddress ||
+      kind == TrapKind::kIllegalSharedAddress ||
+      kind == TrapKind::kEccDoubleBit) {
+    out << " addr=0x" << std::hex << address;
+  }
+  return out.str();
+}
+
+}  // namespace gfi::sim

@@ -1,0 +1,37 @@
+// Hardware trap descriptors. Traps are the simulator's DUE mechanism:
+// a trapped launch aborts and surfaces the trap in LaunchResult, exactly
+// like an XID/CUDA error surfacing a detected-unrecoverable fault.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace gfi::sim {
+
+enum class TrapKind : u8 {
+  kNone = 0,
+  kIllegalGlobalAddress,  ///< global access outside the allocated arena
+  kMisalignedAddress,     ///< access not aligned to its width
+  kIllegalSharedAddress,  ///< shared access outside the CTA allocation
+  kEccDoubleBit,          ///< SECDED detected an uncorrectable (>=2-bit) error
+  kWatchdogTimeout,       ///< dynamic-instruction budget exhausted (hang)
+  kIllegalInstruction,    ///< malformed dynamic state (e.g. HMMA partial warp)
+  kBarrierDivergence,     ///< BAR reached with threads of the CTA exited
+};
+
+const char* trap_kind_name(TrapKind kind);
+
+/// A trap plus where it fired. kind == kNone means "no trap".
+struct Trap {
+  TrapKind kind = TrapKind::kNone;
+  u64 address = 0;  ///< faulting address if address-related
+  u64 pc = 0;       ///< static instruction index
+  u32 cta = 0;      ///< linear CTA id
+  u32 warp = 0;     ///< warp index within the CTA
+
+  [[nodiscard]] bool fired() const { return kind != TrapKind::kNone; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace gfi::sim

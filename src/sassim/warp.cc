@@ -1,0 +1,21 @@
+#include "sassim/warp.h"
+
+namespace gfi::sim {
+
+void WarpState::retire_lanes(u32 lanes) {
+  exited_ |= lanes;
+  active_ &= ~lanes;
+  for (auto& entry : stack_) entry.mask &= ~lanes;
+
+  // If the current context emptied, resume the next pending one.
+  while (active_ == 0 && !stack_.empty()) {
+    const StackEntry entry = stack_.back();
+    stack_.pop_back();
+    if (entry.mask == 0) continue;
+    active_ = entry.mask;
+    pc = entry.pc;
+    break;
+  }
+}
+
+}  // namespace gfi::sim

@@ -1,0 +1,113 @@
+// Per-warp architectural state: PC, lane masks, SIMT reconvergence stack,
+// registers and predicates for 32 lanes.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/types.h"
+#include "sassim/isa.h"
+
+namespace gfi::sim {
+
+/// Divergence-stack entry. kSsy entries restore the pre-divergence mask at
+/// the reconvergence point; kDiv entries hold the taken-path lanes waiting
+/// to execute.
+struct StackEntry {
+  enum class Kind : u8 { kSsy, kDiv };
+  u32 mask = 0;
+  u32 pc = 0;
+  Kind kind = Kind::kSsy;
+};
+
+class WarpState {
+ public:
+  WarpState(u32 warp_in_cta, u32 num_regs, u32 initial_mask)
+      : warp_in_cta_(warp_in_cta),
+        num_regs_(num_regs),
+        active_(initial_mask),
+        regs_(static_cast<std::size_t>(num_regs) * kWarpSize, 0) {}
+
+  // --- identity ---------------------------------------------------------
+  [[nodiscard]] u32 warp_in_cta() const { return warp_in_cta_; }
+  [[nodiscard]] u32 num_regs() const { return num_regs_; }
+
+  // --- control state ------------------------------------------------------
+  u32 pc = 0;
+  u64 ready_cycle = 0;      ///< timing model: earliest next issue
+  bool at_barrier = false;
+
+  [[nodiscard]] u32 active() const { return active_; }
+  [[nodiscard]] u32 exited() const { return exited_; }
+  [[nodiscard]] bool done() const { return active_ == 0 && stack_.empty(); }
+  [[nodiscard]] bool fully_exited() const {
+    return done() || (active_ == 0 && pending_stack_mask() == 0);
+  }
+
+  void set_active(u32 mask) { active_ = mask; }
+
+  std::vector<StackEntry>& stack() { return stack_; }
+  [[nodiscard]] const std::vector<StackEntry>& stack() const { return stack_; }
+
+  /// Retires `lanes` permanently: removes them from the active mask and
+  /// from every stack entry, then pops emptied contexts so execution can
+  /// continue on any pending divergent path.
+  void retire_lanes(u32 lanes);
+
+  // --- registers ----------------------------------------------------------
+  [[nodiscard]] u32 reg(u32 lane, u16 r) const {
+    if (r == kRegZ) return 0;
+    return regs_[index_of(lane, r)];
+  }
+  void set_reg(u32 lane, u16 r, u32 value) {
+    if (r == kRegZ) return;
+    regs_[index_of(lane, r)] = value;
+  }
+  [[nodiscard]] u64 reg64(u32 lane, u16 r) const {
+    if (r == kRegZ) return 0;
+    return make64(reg(lane, r), reg(lane, static_cast<u16>(r + 1)));
+  }
+  void set_reg64(u32 lane, u16 r, u64 value) {
+    set_reg(lane, r, lo32(value));
+    set_reg(lane, static_cast<u16>(r + 1), hi32(value));
+  }
+
+  // --- predicates -----------------------------------------------------------
+  [[nodiscard]] bool pred(u32 lane, u8 p) const {
+    if (p == kPredT) return true;
+    return (preds_[lane] >> p) & 1u;
+  }
+  void set_pred(u32 lane, u8 p, bool value) {
+    if (p == kPredT) return;
+    if (value) {
+      preds_[lane] = static_cast<u8>(preds_[lane] | (1u << p));
+    } else {
+      preds_[lane] = static_cast<u8>(preds_[lane] & ~(1u << p));
+    }
+  }
+  /// Raw predicate byte of a lane (fault-injection access).
+  [[nodiscard]] u8 pred_bits(u32 lane) const { return preds_[lane]; }
+  void set_pred_bits(u32 lane, u8 bits) { preds_[lane] = bits; }
+
+ private:
+  [[nodiscard]] std::size_t index_of(u32 lane, u16 r) const {
+    assert(lane < kWarpSize && r < num_regs_);
+    return static_cast<std::size_t>(r) * kWarpSize + lane;
+  }
+  [[nodiscard]] u32 pending_stack_mask() const {
+    u32 mask = 0;
+    for (const auto& entry : stack_) mask |= entry.mask;
+    return mask;
+  }
+
+  u32 warp_in_cta_;
+  u32 num_regs_;
+  u32 active_;
+  u32 exited_ = 0;
+  std::vector<StackEntry> stack_;
+  std::vector<u32> regs_;  ///< [reg][lane] layout
+  u8 preds_[kWarpSize] = {};
+};
+
+}  // namespace gfi::sim

@@ -1,0 +1,54 @@
+#include "sassim/xid.h"
+
+#include <sstream>
+
+namespace gfi::sim {
+
+int xid_for_trap(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::kNone:
+      return 0;
+    case TrapKind::kIllegalGlobalAddress:
+    case TrapKind::kIllegalSharedAddress:
+      return 31;  // GPU memory page fault (MMU error)
+    case TrapKind::kMisalignedAddress:
+      return 13;  // Graphics Engine Exception (misaligned address class)
+    case TrapKind::kEccDoubleBit:
+      return 48;  // Double Bit ECC Error
+    case TrapKind::kWatchdogTimeout:
+      return 8;  // GPU stopped processing / timeout
+    case TrapKind::kIllegalInstruction:
+      return 13;  // Graphics Engine Exception
+    case TrapKind::kBarrierDivergence:
+      return 109;  // Context-switch / preemption timeout class
+  }
+  return 0;
+}
+
+const char* xid_description(int xid) {
+  switch (xid) {
+    case 8:
+      return "GPU stopped processing (timeout)";
+    case 13:
+      return "Graphics Engine Exception";
+    case 31:
+      return "GPU memory page fault (MMU error)";
+    case 48:
+      return "Double Bit ECC Error";
+    case 109:
+      return "Context preemption timeout";
+    default:
+      return "no XID";
+  }
+}
+
+std::string xid_log_line(const Trap& trap) {
+  if (!trap.fired()) return "";
+  const int xid = xid_for_trap(trap.kind);
+  std::ostringstream out;
+  out << "NVRM: Xid (PCI:0000:07:00): " << xid << ", "
+      << xid_description(xid) << " — " << trap.to_string();
+  return out.str();
+}
+
+}  // namespace gfi::sim

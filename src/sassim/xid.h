@@ -1,0 +1,23 @@
+// Mapping from simulator traps to the NVIDIA XID event codes an operator
+// would see in dmesg on a real A100/H100 node. Connects the injection
+// outcomes to the fleet-monitoring vocabulary GPU-resilience studies report
+// (XID 13/31 illegal address, XID 48 DBE, XID 8/109 hangs/timeouts).
+#pragma once
+
+#include <string>
+
+#include "sassim/trap.h"
+
+namespace gfi::sim {
+
+/// XID event code for a trap; 0 when no XID would be logged.
+int xid_for_trap(TrapKind kind);
+
+/// Short operator-facing description of the XID.
+const char* xid_description(int xid);
+
+/// Renders a dmesg-style line for a trap, e.g.
+/// "NVRM: Xid (PCI:0000:07:00): 48, pid=..., Double Bit ECC Error ...".
+std::string xid_log_line(const Trap& trap);
+
+}  // namespace gfi::sim

@@ -1,0 +1,30 @@
+// Factory functions for every built-in workload. The registry in
+// workload.cc registers these explicitly (self-registering statics would be
+// stripped from the static library).
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace gfi::wl {
+
+std::unique_ptr<Workload> make_vecadd();
+std::unique_ptr<Workload> make_saxpy();
+std::unique_ptr<Workload> make_gemm();
+std::unique_ptr<Workload> make_gemm_hmma();
+std::unique_ptr<Workload> make_reduce_u32();
+std::unique_ptr<Workload> make_dotprod();
+std::unique_ptr<Workload> make_conv2d();
+std::unique_ptr<Workload> make_stencil();
+std::unique_ptr<Workload> make_histogram();
+std::unique_ptr<Workload> make_scan();
+std::unique_ptr<Workload> make_bitonic_sort();
+std::unique_ptr<Workload> make_spmv();
+std::unique_ptr<Workload> make_softmax();
+std::unique_ptr<Workload> make_layernorm();
+std::unique_ptr<Workload> make_pathfinder();
+std::unique_ptr<Workload> make_nbody();
+std::unique_ptr<Workload> make_mc_pi();
+
+}  // namespace gfi::wl

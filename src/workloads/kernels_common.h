@@ -1,0 +1,33 @@
+// Internal helpers shared by workload kernel implementations.
+#pragma once
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "sassim/kernel_builder.h"
+
+namespace gfi::wl {
+
+/// Finalizes a builder; a failure here is a programming bug in the workload,
+/// so abort loudly rather than propagate.
+inline sim::Program must_build(sim::KernelBuilder& builder) {
+  auto result = builder.build();
+  if (!result.is_ok()) {
+    GFI_LOG(kError) << "kernel build failed: " << result.status().to_string();
+    std::abort();
+  }
+  return std::move(result).take();
+}
+
+/// Emits `gid = ctaid.x * ntid.x + tid.x` into register `dst`, clobbering
+/// dst+1 and dst+2.
+inline void emit_global_tid_x(sim::KernelBuilder& b, u16 dst) {
+  using sim::Operand;
+  b.s2r(dst, sim::SpecialReg::kTidX);
+  b.s2r(static_cast<u16>(dst + 1), sim::SpecialReg::kCtaidX);
+  b.s2r(static_cast<u16>(dst + 2), sim::SpecialReg::kNtidX);
+  b.imad_u32(dst, Operand::reg(static_cast<u16>(dst + 1)),
+             Operand::reg(static_cast<u16>(dst + 2)), Operand::reg(dst));
+}
+
+}  // namespace gfi::wl

@@ -1,0 +1,115 @@
+// Shared helpers for workload implementations: deterministic input
+// generation and output comparison.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "workloads/workload.h"
+
+namespace gfi::wl {
+
+/// Deterministic float inputs in [lo, hi).
+inline std::vector<f32> random_f32(std::size_t n, u64 seed, f32 lo = -1.0f,
+                                   f32 hi = 1.0f) {
+  Rng rng(seed);
+  std::vector<f32> values(n);
+  for (auto& v : values) v = rng.next_float(lo, hi);
+  return values;
+}
+
+/// Deterministic u32 inputs below `bound` (bound 0 = full range).
+inline std::vector<u32> random_u32(std::size_t n, u64 seed, u32 bound = 0) {
+  Rng rng(seed);
+  std::vector<u32> values(n);
+  for (auto& v : values) {
+    v = bound ? static_cast<u32>(rng.next_below(bound)) : rng.next_u32();
+  }
+  return values;
+}
+
+/// Compares device output against a reference. `tolerance` is the relative
+/// error beyond which a mismatch counts as an SDC.
+inline CheckResult compare_f32(std::span<const f32> got,
+                               std::span<const f32> want, f64 tolerance) {
+  CheckResult result;
+  result.bitwise_equal = true;
+  result.within_tolerance = true;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (f32_bits(got[i]) == f32_bits(want[i])) continue;
+    result.bitwise_equal = false;
+    const f64 g = got[i];
+    const f64 w = want[i];
+    f64 rel;
+    if (std::isnan(g) || std::isinf(g)) {
+      rel = std::numeric_limits<f64>::infinity();
+    } else {
+      const f64 denom = std::max(std::abs(w), 1e-30);
+      rel = std::abs(g - w) / denom;
+    }
+    result.max_rel_err = std::max(result.max_rel_err, rel);
+    if (rel > tolerance) result.within_tolerance = false;
+  }
+  return result;
+}
+
+/// FP64 variant of compare_f32.
+inline CheckResult compare_f64(std::span<const f64> got,
+                               std::span<const f64> want, f64 tolerance) {
+  CheckResult result;
+  result.bitwise_equal = true;
+  result.within_tolerance = true;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (f64_bits(got[i]) == f64_bits(want[i])) continue;
+    result.bitwise_equal = false;
+    f64 rel;
+    if (std::isnan(got[i]) || std::isinf(got[i])) {
+      rel = std::numeric_limits<f64>::infinity();
+    } else {
+      const f64 denom = std::max(std::abs(want[i]), 1e-300);
+      rel = std::abs(got[i] - want[i]) / denom;
+    }
+    result.max_rel_err = std::max(result.max_rel_err, rel);
+    if (rel > tolerance) result.within_tolerance = false;
+  }
+  return result;
+}
+
+/// Exact comparison for integer outputs.
+inline CheckResult compare_u32(std::span<const u32> got,
+                               std::span<const u32> want) {
+  CheckResult result;
+  result.bitwise_equal = true;
+  result.within_tolerance = true;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != want[i]) {
+      result.bitwise_equal = false;
+      result.within_tolerance = false;
+      result.max_rel_err = std::numeric_limits<f64>::infinity();
+      break;
+    }
+  }
+  return result;
+}
+
+/// Boilerplate: copies `count` T from device `addr` and wraps trap handling.
+template <typename T>
+Result<Workload::Checked> fetch_and_check(
+    sim::Device& device, u64 addr, std::size_t count,
+    const std::function<CheckResult(std::span<const T>)>& compare) {
+  std::vector<T> host(count);
+  Workload::Checked checked;
+  checked.trap = device.to_host(std::span<T>(host), addr);
+  if (checked.trap != sim::TrapKind::kNone) return checked;
+  checked.result = compare(std::span<const T>(host));
+  return checked;
+}
+
+}  // namespace gfi::wl

@@ -1,0 +1,63 @@
+#include "workloads/workload.h"
+
+#include <map>
+
+#include "workloads/all.h"
+
+namespace gfi::wl {
+namespace {
+
+std::map<std::string, WorkloadFactory>& registry() {
+  static auto* instance = new std::map<std::string, WorkloadFactory>();
+  return *instance;
+}
+
+/// Registers the built-in suite exactly once. Explicit registration keeps
+/// the workloads alive inside a static library (self-registering globals
+/// would be dropped by the linker).
+void ensure_builtin() {
+  static const bool done = [] {
+    register_workload("vecadd", make_vecadd);
+    register_workload("saxpy", make_saxpy);
+    register_workload("gemm", make_gemm);
+    register_workload("gemm_hmma", make_gemm_hmma);
+    register_workload("reduce_u32", make_reduce_u32);
+    register_workload("dotprod", make_dotprod);
+    register_workload("conv2d", make_conv2d);
+    register_workload("stencil", make_stencil);
+    register_workload("histogram", make_histogram);
+    register_workload("scan", make_scan);
+    register_workload("bitonic_sort", make_bitonic_sort);
+    register_workload("spmv", make_spmv);
+    register_workload("softmax", make_softmax);
+    register_workload("layernorm", make_layernorm);
+    register_workload("pathfinder", make_pathfinder);
+    register_workload("nbody", make_nbody);
+    register_workload("mc_pi", make_mc_pi);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+void register_workload(const std::string& name, WorkloadFactory factory) {
+  registry()[name] = std::move(factory);
+}
+
+std::vector<std::string> workload_names() {
+  ensure_builtin();
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name) {
+  ensure_builtin();
+  auto it = registry().find(name);
+  if (it == registry().end()) return nullptr;
+  return it->second();
+}
+
+}  // namespace gfi::wl

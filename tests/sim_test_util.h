@@ -1,0 +1,92 @@
+// Test helpers: run tiny one-warp kernels on the toy machine and collect
+// per-lane results.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/arch.h"
+#include "sassim/device.h"
+#include "sassim/kernel_builder.h"
+
+namespace gfi::sim_test {
+
+using sim::Device;
+using gfi::Dim3;
+using sim::KernelBuilder;
+using sim::LaunchOptions;
+using sim::LaunchResult;
+using sim::Operand;
+
+/// Runs `body` (which computes a per-lane u32 into R10; R0 = lane id on
+/// entry) on one warp of the toy machine and returns out[lane] for all 32
+/// lanes. Registers R40+ are reserved for the harness epilogue.
+inline std::vector<u32> run_lane_kernel(
+    const std::function<void(KernelBuilder&)>& body,
+    const LaunchOptions& options = {},
+    std::optional<sim::MachineConfig> machine = std::nullopt) {
+  KernelBuilder b("lane_test");
+  b.s2r(0, sim::SpecialReg::kLaneId);
+  body(b);
+  b.ldc_u64(40, 0);
+  b.s2r(44, sim::SpecialReg::kLaneId);
+  b.imad_wide(42, Operand::reg(44), Operand::imm_u(4), Operand::reg(40));
+  b.stg(42, 10);
+  b.exit_();
+  auto program = b.build();
+  EXPECT_TRUE(program.is_ok()) << program.status().to_string();
+
+  Device device(machine ? *machine : arch::toy());
+  auto out = device.malloc_n<u32>(32);
+  EXPECT_TRUE(out.is_ok());
+  const u64 params[] = {out.value()};
+  auto launch = device.launch(program.value(), Dim3(1), Dim3(32), params,
+                              options);
+  EXPECT_TRUE(launch.is_ok()) << launch.status().to_string();
+  EXPECT_TRUE(launch.value().ok()) << launch.value().trap.to_string();
+
+  std::vector<u32> host(32);
+  EXPECT_EQ(device.to_host(std::span<u32>(host), out.value()),
+            sim::TrapKind::kNone);
+  return host;
+}
+
+/// 64-bit variant: body computes into the R10:R11 pair; returns u64[lane].
+inline std::vector<u64> run_lane_kernel64(
+    const std::function<void(KernelBuilder&)>& body) {
+  KernelBuilder b("lane_test64");
+  b.s2r(0, sim::SpecialReg::kLaneId);
+  body(b);
+  b.ldc_u64(40, 0);
+  b.s2r(44, sim::SpecialReg::kLaneId);
+  b.imad_wide(42, Operand::reg(44), Operand::imm_u(8), Operand::reg(40));
+  b.stg(42, 10, 0, 8);
+  b.exit_();
+  auto program = b.build();
+  EXPECT_TRUE(program.is_ok()) << program.status().to_string();
+
+  Device device(arch::toy());
+  auto out = device.malloc_n<u64>(32);
+  EXPECT_TRUE(out.is_ok());
+  const u64 params[] = {out.value()};
+  auto launch = device.launch(program.value(), Dim3(1), Dim3(32), params);
+  EXPECT_TRUE(launch.is_ok()) << launch.status().to_string();
+  EXPECT_TRUE(launch.value().ok()) << launch.value().trap.to_string();
+
+  std::vector<u64> host(32);
+  EXPECT_EQ(device.to_host(std::span<u64>(host), out.value()),
+            sim::TrapKind::kNone);
+  return host;
+}
+
+/// Builds a program expecting success (test aborts otherwise).
+inline sim::Program must(KernelBuilder& b) {
+  auto program = b.build();
+  EXPECT_TRUE(program.is_ok()) << program.status().to_string();
+  return std::move(program).take();
+}
+
+}  // namespace gfi::sim_test

@@ -1,0 +1,106 @@
+// Arch presets and analysis/report helpers.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "analysis/report.h"
+#include "arch/arch.h"
+#include "fi/campaign.h"
+
+namespace gfi {
+namespace {
+
+TEST(Arch, PresetsMatchPublicSpecs) {
+  const auto a100 = arch::a100();
+  EXPECT_EQ(a100.num_sms, 108u);
+  EXPECT_NEAR(a100.sm_clock_ghz, 1.41, 1e-9);
+  EXPECT_EQ(a100.l2_bytes, 40u << 20);
+  EXPECT_EQ(a100.rf_ecc, ecc::EccMode::kSecded);
+
+  const auto h100 = arch::h100();
+  EXPECT_EQ(h100.num_sms, 132u);
+  EXPECT_NEAR(h100.sm_clock_ghz, 1.98, 1e-9);
+  EXPECT_EQ(h100.l2_bytes, 50u << 20);
+  EXPECT_GT(h100.shared_bytes_per_sm, a100.shared_bytes_per_sm);
+  EXPECT_LT(h100.mem_latency_cycles, a100.mem_latency_cycles);
+}
+
+TEST(Arch, ConfigForAndNames) {
+  EXPECT_EQ(arch::config_for(arch::GpuModel::kA100).name, "A100");
+  EXPECT_EQ(arch::config_for(arch::GpuModel::kH100).name, "H100");
+  EXPECT_STREQ(arch::model_name(arch::GpuModel::kToy), "toy");
+  EXPECT_EQ(arch::study_models().size(), 2u);
+}
+
+TEST(Arch, LatencyTableDefaultsSane) {
+  const auto latencies = sim::default_latencies();
+  EXPECT_GT(latencies.of(sim::Opcode::kMufu), latencies.of(sim::Opcode::kIAdd));
+  EXPECT_GT(latencies.of(sim::Opcode::kLdg), latencies.of(sim::Opcode::kLds));
+}
+
+// ------------------------------------------------------------- analysis --
+
+fi::CampaignResult tiny_campaign() {
+  fi::CampaignConfig config;
+  config.workload = "vecadd";
+  config.machine = arch::toy();
+  config.num_injections = 25;
+  config.threads = 4;
+  auto result = fi::Campaign::run(config);
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  return std::move(result).take();
+}
+
+TEST(Analysis, OutcomeRowShapeMatchesHeader) {
+  const auto campaign = tiny_campaign();
+  const auto header = analysis::outcome_header();
+  const auto row = analysis::outcome_row("vecadd", campaign);
+  EXPECT_EQ(header.size(), row.size());
+  EXPECT_EQ(row.front(), "vecadd");
+  EXPECT_EQ(row.back(), "25");
+}
+
+TEST(Analysis, RateCellFormatsPercent) {
+  const auto campaign = tiny_campaign();
+  const std::string cell =
+      analysis::rate_cell(campaign, fi::Outcome::kMasked);
+  EXPECT_NE(cell.find('%'), std::string::npos);
+  EXPECT_NE(cell.find("±"), std::string::npos);
+}
+
+TEST(Analysis, ProfileRowSumsToRoughlyHundredPercent) {
+  const auto campaign = tiny_campaign();
+  const auto row = analysis::profile_row("vecadd", campaign.profile);
+  ASSERT_EQ(row.size(), analysis::profile_header().size());
+  f64 total = 0;
+  for (std::size_t i = 2; i < row.size(); ++i) {
+    total += std::stod(row[i]);  // strips at '%'
+  }
+  EXPECT_NEAR(total, 100.0, 1.0);
+}
+
+TEST(Analysis, RecordsCsvRoundTrips) {
+  const auto campaign = tiny_campaign();
+  const std::string path = ::testing::TempDir() + "/records.csv";
+  ASSERT_TRUE(analysis::write_records_csv(campaign, path).is_ok());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string header;
+  std::getline(file, header);
+  EXPECT_NE(header.find("outcome"), std::string::npos);
+  EXPECT_NE(header.find("xid"), std::string::npos);
+  std::size_t rows = 0;
+  for (std::string line; std::getline(file, line);) ++rows;
+  EXPECT_EQ(rows, campaign.records.size());
+}
+
+TEST(Analysis, FailureRateIsSumOfBadOutcomes) {
+  const auto campaign = tiny_campaign();
+  const f64 rate = analysis::uncorrected_failure_rate(campaign);
+  EXPECT_DOUBLE_EQ(rate, campaign.rate(fi::Outcome::kSdc) +
+                             campaign.rate(fi::Outcome::kDue) +
+                             campaign.rate(fi::Outcome::kHang));
+}
+
+}  // namespace
+}  // namespace gfi

@@ -1,0 +1,226 @@
+// Campaign-level tests: golden phase, sampling, classification,
+// reproducibility, parallel execution, and memory-mode ECC behaviour.
+#include <gtest/gtest.h>
+
+#include "arch/arch.h"
+#include "fi/campaign.h"
+
+namespace gfi {
+namespace {
+
+using fi::BitFlipModel;
+using fi::Campaign;
+using fi::CampaignConfig;
+using fi::InjectionMode;
+using fi::Outcome;
+
+CampaignConfig base_config(const std::string& workload) {
+  CampaignConfig config;
+  config.workload = workload;
+  config.machine = arch::toy();
+  config.model = {InjectionMode::kIov, BitFlipModel::kSingle};
+  config.num_injections = 40;
+  config.seed = 7;
+  config.threads = 4;
+  return config;
+}
+
+TEST(Campaign, GoldenRunProfilesWorkload) {
+  auto golden = Campaign::golden_run(base_config("vecadd"));
+  ASSERT_TRUE(golden.is_ok()) << golden.status().to_string();
+  EXPECT_GT(golden.value().dyn_instrs, 0u);
+  EXPECT_GT(golden.value().cycles, 0u);
+  EXPECT_GT(golden.value().profile.group_warp_count(sim::InstrGroup::kFp32),
+            0u);
+  EXPECT_GT(golden.value().profile.group_warp_count(sim::InstrGroup::kStore),
+            0u);
+}
+
+TEST(Campaign, UnknownWorkloadRejected) {
+  auto result = Campaign::run(base_config("no_such_kernel"));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Campaign, ZeroInjectionsRejected) {
+  auto config = base_config("vecadd");
+  config.num_injections = 0;
+  EXPECT_FALSE(Campaign::run(config).is_ok());
+}
+
+TEST(Campaign, GroupNotExecutedRejected) {
+  auto config = base_config("vecadd");
+  config.group = sim::InstrGroup::kFp64;  // vecadd has no FP64
+  auto result = Campaign::run(config);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Campaign, ModeGroupMismatchRejected) {
+  auto config = base_config("vecadd");
+  config.model.mode = InjectionMode::kIoa;
+  config.group = sim::InstrGroup::kFp32;  // IOA targets stores only
+  EXPECT_FALSE(Campaign::run(config).is_ok());
+}
+
+TEST(Campaign, OutcomeCountsSumToInjections) {
+  auto result = Campaign::run(base_config("vecadd"));
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  u64 total = 0;
+  for (int o = 0; o < fi::kOutcomeCount; ++o) {
+    total += result.value().outcome_counts[o];
+  }
+  EXPECT_EQ(total, result.value().records.size());
+  EXPECT_EQ(result.value().records.size(), 40u);
+}
+
+TEST(Campaign, ReproducibleAcrossRuns) {
+  auto a = Campaign::run(base_config("saxpy"));
+  auto b = Campaign::run(base_config("saxpy"));
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  ASSERT_EQ(a.value().records.size(), b.value().records.size());
+  for (std::size_t i = 0; i < a.value().records.size(); ++i) {
+    EXPECT_EQ(a.value().records[i].outcome, b.value().records[i].outcome) << i;
+    EXPECT_EQ(a.value().records[i].effect.struck_dyn_index,
+              b.value().records[i].effect.struck_dyn_index)
+        << i;
+  }
+}
+
+TEST(Campaign, DifferentSeedsDifferentSites) {
+  auto a_cfg = base_config("saxpy");
+  auto b_cfg = base_config("saxpy");
+  b_cfg.seed = a_cfg.seed + 1;
+  auto a = Campaign::run(a_cfg);
+  auto b = Campaign::run(b_cfg);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  int different = 0;
+  for (std::size_t i = 0; i < a.value().records.size(); ++i) {
+    if (a.value().records[i].effect.struck_dyn_index !=
+        b.value().records[i].effect.struck_dyn_index) {
+      ++different;
+    }
+  }
+  EXPECT_GT(different, 0);
+}
+
+TEST(Campaign, RunSingleReplaysExactRecord) {
+  auto config = base_config("vecadd");
+  auto campaign = Campaign::run(config);
+  ASSERT_TRUE(campaign.is_ok());
+  const auto& full = campaign.value();
+  for (std::size_t i : {std::size_t{0}, std::size_t{17}, std::size_t{39}}) {
+    auto replay = Campaign::run_single(config, full.profile,
+                                       full.golden_dyn_instrs, i);
+    ASSERT_TRUE(replay.is_ok());
+    EXPECT_EQ(replay.value().outcome, full.records[i].outcome) << i;
+    EXPECT_EQ(replay.value().effect.struck_dyn_index,
+              full.records[i].effect.struck_dyn_index)
+        << i;
+  }
+}
+
+TEST(Campaign, StoreGroupIoaProducesDuesOrDisplacedStores) {
+  auto config = base_config("vecadd");
+  config.model.mode = InjectionMode::kIoa;
+  config.group = sim::InstrGroup::kStore;
+  auto result = Campaign::run(config);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  // Address corruption must never be silently "corrected".
+  EXPECT_EQ(result.value().count(Outcome::kDetectedCorrected), 0u);
+  // High address bits routinely leave the arena: expect some DUEs.
+  EXPECT_GT(result.value().count(Outcome::kDue) +
+                result.value().count(Outcome::kSdc) +
+                result.value().count(Outcome::kMasked),
+            0u);
+}
+
+TEST(Campaign, RfModeWithEccMostlyCorrects) {
+  auto config = base_config("vecadd");
+  config.model.mode = InjectionMode::kRf;
+  config.machine.rf_ecc = ecc::EccMode::kSecded;
+  auto result = Campaign::run(config);
+  ASSERT_TRUE(result.is_ok());
+  // Every activated single-bit RF strike is corrected under SECDED.
+  EXPECT_EQ(result.value().count(Outcome::kSdc), 0u);
+  EXPECT_EQ(result.value().count(Outcome::kDue), 0u);
+  EXPECT_GT(result.value().count(Outcome::kDetectedCorrected), 0u);
+}
+
+TEST(Campaign, RfDoubleBitWithEccAllDue) {
+  auto config = base_config("vecadd");
+  config.model.mode = InjectionMode::kRf;
+  config.model.flip = BitFlipModel::kDouble;
+  config.machine.rf_ecc = ecc::EccMode::kSecded;
+  auto result = Campaign::run(config);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().count(Outcome::kDue),
+            result.value().records.size());
+}
+
+TEST(Campaign, MemoryModeSingleBitWithEccNeverCorrupts) {
+  auto config = base_config("vecadd");
+  config.model.mode = InjectionMode::kMemory;
+  config.machine.dram_ecc = ecc::EccMode::kSecded;
+  auto result = Campaign::run(config);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().count(Outcome::kSdc), 0u);
+  EXPECT_EQ(result.value().count(Outcome::kHang), 0u);
+}
+
+TEST(Campaign, MemoryModeSingleBitWithoutEccCanCorrupt) {
+  auto config = base_config("vecadd");
+  config.model.mode = InjectionMode::kMemory;
+  config.machine.dram_ecc = ecc::EccMode::kDisabled;
+  config.num_injections = 120;
+  auto result = Campaign::run(config);
+  ASSERT_TRUE(result.is_ok());
+  // With ECC off, upsets in input/output buffers become SDCs (or masked if
+  // the word is never consumed); none may trap as a DBE.
+  EXPECT_GT(result.value().count(Outcome::kSdc), 0u);
+  EXPECT_EQ(result.value().count(Outcome::kDue), 0u);
+}
+
+TEST(Campaign, MemoryModeDoubleBitWithEccTrapsWhenConsumed) {
+  auto config = base_config("vecadd");
+  config.model.mode = InjectionMode::kMemory;
+  config.model.flip = BitFlipModel::kDouble;
+  config.num_injections = 120;
+  auto result = Campaign::run(config);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_GT(result.value().count(Outcome::kDue), 0u);
+  EXPECT_EQ(result.value().count(Outcome::kSdc), 0u);  // detected, not silent
+}
+
+TEST(Campaign, FixedBitSweepRestrictsBit) {
+  auto config = base_config("vecadd");
+  config.fixed_bit = 31;  // FP32 sign bit
+  config.group = sim::InstrGroup::kFp32;
+  auto result = Campaign::run(config);
+  ASSERT_TRUE(result.is_ok());
+  for (const auto& record : result.value().records) {
+    EXPECT_EQ(record.site.bit_sel, 31u);
+  }
+  // Sign flips of a+b are consumed by the store: high SDC rate expected.
+  EXPECT_GT(result.value().rate(Outcome::kSdc), 0.5);
+}
+
+TEST(Campaign, RatesAndIntervalsConsistent) {
+  auto result = Campaign::run(base_config("saxpy"));
+  ASSERT_TRUE(result.is_ok());
+  f64 total_rate = 0;
+  for (int o = 0; o < fi::kOutcomeCount; ++o) {
+    const auto outcome = static_cast<Outcome>(o);
+    const f64 rate = result.value().rate(outcome);
+    total_rate += rate;
+    const auto ci = result.value().rate_interval(outcome);
+    EXPECT_LE(ci.lo, rate + 1e-12);
+    EXPECT_GE(ci.hi, rate - 1e-12);
+  }
+  EXPECT_NEAR(total_rate, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gfi

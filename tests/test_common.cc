@@ -1,0 +1,297 @@
+// Unit tests for src/common: RNG, bit utilities, statistics, tables,
+// histograms, thread pool, status.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/bitutil.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+
+namespace gfi {
+namespace {
+
+// ---------------------------------------------------------------- status --
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status status = Status::invalid_argument("bad thing");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.to_string(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> good(7);
+  ASSERT_TRUE(good.is_ok());
+  EXPECT_EQ(good.value(), 7);
+
+  Result<int> bad(Status::not_found("nope"));
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------------- rng --
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a = Rng::for_stream(1, 0);
+  Rng b = Rng::for_stream(1, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(9);
+  for (u64 bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(5);
+  std::set<u64> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    const f64 x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng rng(31337);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.next_below(10)];
+  for (int count : buckets) {
+    EXPECT_NEAR(count, n / 10, n / 100);  // within 10% relative
+  }
+}
+
+// --------------------------------------------------------------- bitutil --
+
+TEST(BitUtil, FlipBit32) {
+  EXPECT_EQ(flip_bit32(0, 0), 1u);
+  EXPECT_EQ(flip_bit32(1, 0), 0u);
+  EXPECT_EQ(flip_bit32(0, 31), 0x80000000u);
+  EXPECT_EQ(flip_bit32(flip_bit32(0xDEADBEEF, 13), 13), 0xDEADBEEFu);
+}
+
+TEST(BitUtil, FlipBit64RoundTrips) {
+  const u64 value = 0x0123456789ABCDEFULL;
+  for (u32 bit = 0; bit < 64; ++bit) {
+    EXPECT_EQ(flip_bit64(flip_bit64(value, bit), bit), value);
+    EXPECT_NE(flip_bit64(value, bit), value);
+  }
+}
+
+TEST(BitUtil, FloatBitCastsRoundTrip) {
+  for (f32 v : {0.0f, 1.0f, -2.5f, 3.1415926f, 1e-30f, 1e30f}) {
+    EXPECT_EQ(bits_f32(f32_bits(v)), v);
+  }
+  for (f64 v : {0.0, -1.0, 2.718281828459045, 1e-300}) {
+    EXPECT_EQ(bits_f64(f64_bits(v)), v);
+  }
+}
+
+TEST(BitUtil, Make64SplitsAndJoins) {
+  const u64 v = 0xAABBCCDD11223344ULL;
+  EXPECT_EQ(make64(lo32(v), hi32(v)), v);
+  EXPECT_EQ(lo32(v), 0x11223344u);
+  EXPECT_EQ(hi32(v), 0xAABBCCDDu);
+}
+
+TEST(BitUtil, Tf32DropsLowMantissaBits) {
+  const f32 x = 1.0f + 0x1.0p-20f;  // sits entirely in the dropped bits
+  EXPECT_EQ(to_tf32(x), 1.0f);
+  // Values representable in 10 mantissa bits are unchanged.
+  EXPECT_EQ(to_tf32(1.5f), 1.5f);
+  EXPECT_EQ(to_tf32(-0.75f), -0.75f);
+  EXPECT_EQ(to_tf32(0.0f), 0.0f);
+}
+
+TEST(BitUtil, Tf32RoundsToNearest) {
+  // 1 + 1024.5 ulp(tf32) should round up to 1 + 1025 units? Verify
+  // monotonicity and closeness instead of exact ties.
+  const f32 x = 1.0f + 0x1.8p-11f;  // halfway+ between two tf32 values
+  const f32 t = to_tf32(x);
+  EXPECT_NEAR(t, x, 0x1.0p-11f);
+}
+
+// ----------------------------------------------------------------- stats --
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+  stats::RunningStats rs;
+  for (f64 v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(v);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 9.0);
+}
+
+TEST(Stats, WilsonIntervalContainsPointEstimate) {
+  const auto ci = stats::wilson_interval(30, 100);
+  EXPECT_LT(ci.lo, 0.30);
+  EXPECT_GT(ci.hi, 0.30);
+  EXPECT_GT(ci.lo, 0.0);
+  EXPECT_LT(ci.hi, 1.0);
+}
+
+TEST(Stats, WilsonBehavesAtExtremes) {
+  const auto zero = stats::wilson_interval(0, 100);
+  EXPECT_NEAR(zero.lo, 0.0, 1e-12);
+  EXPECT_GT(zero.hi, 0.0);
+  EXPECT_LT(zero.hi, 0.05);
+
+  const auto one = stats::wilson_interval(100, 100);
+  EXPECT_NEAR(one.hi, 1.0, 1e-12);
+  EXPECT_LT(one.lo, 1.0);
+  EXPECT_GT(one.lo, 0.95);
+}
+
+TEST(Stats, WaldNarrowerWithMoreTrials) {
+  const auto small = stats::wald_interval(10, 100);
+  const auto large = stats::wald_interval(1000, 10000);
+  EXPECT_LT(large.half_width(), small.half_width());
+}
+
+TEST(Stats, SampleSizePlannerMatchesLeveugle) {
+  // Classic result: large population, 95% confidence, e=3.1% -> ~1000.
+  const std::size_t n = stats::required_sample_size(1ULL << 40, 0.031);
+  EXPECT_NEAR(static_cast<double>(n), 1000.0, 10.0);
+  // e=2.2% -> ~2000.
+  const std::size_t n2 = stats::required_sample_size(1ULL << 40, 0.0219);
+  EXPECT_NEAR(static_cast<double>(n2), 2000.0, 25.0);
+}
+
+TEST(Stats, SampleSizeCappedByPopulation) {
+  EXPECT_LE(stats::required_sample_size(50, 0.01), 50u);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<f64> values = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(stats::percentile(values, 0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(values, 100), 10.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(values, 50), 5.5);
+}
+
+// ----------------------------------------------------------------- table --
+
+TEST(Table, AsciiAlignsColumns) {
+  Table table("T");
+  table.set_header({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string ascii = table.to_ascii();
+  EXPECT_NE(ascii.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(ascii.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table table;
+  table.set_header({"a", "b"});
+  table.add_row({"has,comma", "has\"quote"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, FormattersRound) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table table;
+  table.set_header({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_NE(table.to_ascii().find("only"), std::string::npos);
+}
+
+// ------------------------------------------------------------- histogram --
+
+TEST(Histogram, BinsAndClamps) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps to bin 0
+  h.add(100.0);   // clamps to last bin
+  EXPECT_EQ(h.count(0), 2.0);
+  EXPECT_EQ(h.count(9), 2.0);
+  EXPECT_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, AsciiRenders) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5, 3.0);
+  h.add(1.5, 1.0);
+  const std::string out = h.to_ascii(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+// ------------------------------------------------------------ threadpool --
+
+TEST(ThreadPool, RunsAllJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.parallel_for(1000, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, ParallelForPassesIndices) {
+  ThreadPool pool(3);
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(64, [&](std::size_t i) { hits[i] = static_cast<int>(i); });
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(hits[i], i);
+}
+
+TEST(ThreadPool, WaitIdleWithNoWorkReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.parallel_for(100, [&](std::size_t) { ++counter; });
+  }
+  EXPECT_EQ(counter.load(), 500);
+}
+
+}  // namespace
+}  // namespace gfi

@@ -1,0 +1,132 @@
+// Tests for the SECDED codec and the observable-equivalent protection
+// model, including the cross-validation between the two.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ecc/protection.h"
+#include "ecc/secded.h"
+
+namespace gfi::ecc {
+namespace {
+
+TEST(Secded, CleanRoundTrip) {
+  for (u64 data : {0ULL, ~0ULL, 0x0123456789ABCDEFULL, 1ULL, 1ULL << 63}) {
+    const Codeword word = encode(data);
+    const DecodeResult result = decode(word);
+    EXPECT_EQ(result.status, DecodeStatus::kClean);
+    EXPECT_EQ(result.data, data);
+  }
+}
+
+TEST(Secded, EverySingleDataBitFlipIsCorrected) {
+  const u64 data = 0xDEADBEEFCAFEF00DULL;
+  const Codeword word = encode(data);
+  for (u32 bit = 0; bit < 64; ++bit) {
+    const DecodeResult result = decode(flip_codeword_bit(word, bit));
+    EXPECT_EQ(result.status, DecodeStatus::kCorrectedSingle) << "bit " << bit;
+    EXPECT_EQ(result.data, data) << "bit " << bit;
+  }
+}
+
+TEST(Secded, EverySingleCheckBitFlipIsCorrected) {
+  const u64 data = 0x1122334455667788ULL;
+  const Codeword word = encode(data);
+  for (u32 bit = 64; bit < 72; ++bit) {
+    const DecodeResult result = decode(flip_codeword_bit(word, bit));
+    EXPECT_EQ(result.status, DecodeStatus::kCorrectedSingle) << "bit " << bit;
+    EXPECT_EQ(result.data, data) << "bit " << bit;
+  }
+}
+
+TEST(Secded, EveryDoubleBitFlipIsDetected) {
+  // Exhaustive over all C(72,2) = 2556 pairs for one data word.
+  const Codeword word = encode(0xA5A5A5A5A5A5A5A5ULL);
+  for (u32 b1 = 0; b1 < 72; ++b1) {
+    for (u32 b2 = b1 + 1; b2 < 72; ++b2) {
+      const DecodeResult result =
+          decode(flip_codeword_bit(flip_codeword_bit(word, b1), b2));
+      EXPECT_EQ(result.status, DecodeStatus::kDetectedDouble)
+          << "bits " << b1 << "," << b2;
+    }
+  }
+}
+
+TEST(Secded, PropertyRandomWordsSingleFlip) {
+  Rng rng(0xECC);
+  for (int trial = 0; trial < 500; ++trial) {
+    const u64 data = rng.next();
+    const u32 bit = static_cast<u32>(rng.next_below(72));
+    const DecodeResult result = decode(flip_codeword_bit(encode(data), bit));
+    ASSERT_EQ(result.status, DecodeStatus::kCorrectedSingle);
+    ASSERT_EQ(result.data, data);
+  }
+}
+
+TEST(Secded, PropertyRandomWordsDoubleFlip) {
+  Rng rng(0xECC2);
+  for (int trial = 0; trial < 500; ++trial) {
+    const u64 data = rng.next();
+    const u32 b1 = static_cast<u32>(rng.next_below(72));
+    u32 b2 = static_cast<u32>(rng.next_below(72));
+    if (b2 == b1) b2 = (b2 + 1) % 72;
+    const DecodeResult result =
+        decode(flip_codeword_bit(flip_codeword_bit(encode(data), b1), b2));
+    ASSERT_EQ(result.status, DecodeStatus::kDetectedDouble);
+  }
+}
+
+// ---------------------------------------------------------- protection --
+
+TEST(Protection, ClassifyMatrix) {
+  EXPECT_EQ(classify_read(EccMode::kSecded, 0), ReadEffect::kClean);
+  EXPECT_EQ(classify_read(EccMode::kSecded, 0b100), ReadEffect::kCorrected);
+  EXPECT_EQ(classify_read(EccMode::kSecded, 0b101),
+            ReadEffect::kDoubleBitTrap);
+  EXPECT_EQ(classify_read(EccMode::kSecded, 0xFFFF),
+            ReadEffect::kDoubleBitTrap);
+  EXPECT_EQ(classify_read(EccMode::kDisabled, 0), ReadEffect::kClean);
+  EXPECT_EQ(classify_read(EccMode::kDisabled, 0b1),
+            ReadEffect::kRawCorrupted);
+}
+
+/// Cross-validation: the fault-map policy must agree with the real codec
+/// for every single- and double-bit data upset.
+TEST(Protection, AgreesWithSecdedCodec) {
+  Rng rng(0xC0DE);
+  for (int trial = 0; trial < 300; ++trial) {
+    const u64 data = rng.next();
+    const u32 b1 = static_cast<u32>(rng.next_below(64));
+
+    // Single-bit: codec corrects <=> policy says corrected.
+    const auto single = decode(flip_codeword_bit(encode(data), b1));
+    EXPECT_EQ(single.status == DecodeStatus::kCorrectedSingle,
+              classify_read(EccMode::kSecded, 1ULL << b1) ==
+                  ReadEffect::kCorrected);
+
+    // Double-bit: codec detects <=> policy traps.
+    u32 b2 = static_cast<u32>(rng.next_below(64));
+    if (b2 == b1) b2 = (b2 + 1) % 64;
+    const auto dbl =
+        decode(flip_codeword_bit(flip_codeword_bit(encode(data), b1), b2));
+    EXPECT_EQ(dbl.status == DecodeStatus::kDetectedDouble,
+              classify_read(EccMode::kSecded, (1ULL << b1) | (1ULL << b2)) ==
+                  ReadEffect::kDoubleBitTrap);
+  }
+}
+
+TEST(Protection, CountersMerge) {
+  EccCounters a{1, 2, 3};
+  const EccCounters b{10, 20, 30};
+  a.merge(b);
+  EXPECT_EQ(a.corrected_sbe, 11u);
+  EXPECT_EQ(a.detected_dbe, 22u);
+  EXPECT_EQ(a.silent_corrupted, 33u);
+}
+
+TEST(Protection, Names) {
+  EXPECT_STREQ(to_string(EccMode::kSecded), "secded");
+  EXPECT_STREQ(to_string(ReadEffect::kDoubleBitTrap), "double-bit-trap");
+}
+
+}  // namespace
+}  // namespace gfi::ecc

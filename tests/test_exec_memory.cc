@@ -1,0 +1,263 @@
+// Memory-system instruction tests: global/shared loads and stores at all
+// widths, atomics, parameter loads, and the address traps.
+#include <gtest/gtest.h>
+
+#include "sim_test_util.h"
+
+namespace gfi {
+namespace {
+
+using sim::AtomKind;
+using sim::CmpOp;
+using sim::Device;
+using gfi::Dim3;
+using sim::DType;
+using sim::KernelBuilder;
+using sim::Operand;
+using sim::TrapKind;
+using sim_test::must;
+using sim_test::run_lane_kernel;
+
+/// Launches `program` with the given params and returns the result.
+sim::LaunchResult launch_or_die(Device& device, const sim::Program& program,
+                                Dim3 grid, Dim3 block,
+                                std::span<const u64> params) {
+  auto launch = device.launch(program, grid, block, params);
+  EXPECT_TRUE(launch.is_ok()) << launch.status().to_string();
+  return launch.value();
+}
+
+TEST(ExecMemory, GlobalLoadStoreRoundTrip) {
+  Device device(arch::toy());
+  auto in = device.malloc_n<u32>(32);
+  auto out = device.malloc_n<u32>(32);
+  ASSERT_TRUE(in.is_ok());
+  ASSERT_TRUE(out.is_ok());
+  std::vector<u32> data(32);
+  for (u32 i = 0; i < 32; ++i) data[i] = i * 1000 + 7;
+  ASSERT_TRUE(device.to_device<u32>(in.value(), data).is_ok());
+
+  KernelBuilder b("copy");
+  b.s2r(0, sim::SpecialReg::kLaneId);
+  b.ldc_u64(2, 0);
+  b.ldc_u64(4, 1);
+  b.imad_wide(6, Operand::reg(0), Operand::imm_u(4), Operand::reg(2));
+  b.imad_wide(8, Operand::reg(0), Operand::imm_u(4), Operand::reg(4));
+  b.ldg(12, 6);
+  b.stg(8, 12);
+  b.exit_();
+  auto program = must(b);
+
+  const u64 params[] = {in.value(), out.value()};
+  auto result = launch_or_die(device, program, Dim3(1), Dim3(32), params);
+  ASSERT_TRUE(result.ok()) << result.trap.to_string();
+
+  std::vector<u32> host(32);
+  ASSERT_EQ(device.to_host(std::span<u32>(host), out.value()), TrapKind::kNone);
+  EXPECT_EQ(host, data);
+}
+
+TEST(ExecMemory, NarrowWidthsZeroExtend) {
+  Device device(arch::toy());
+  auto in = device.malloc_n<u32>(32);
+  auto out = device.malloc_n<u32>(32);
+  ASSERT_TRUE(in.is_ok());
+  ASSERT_TRUE(out.is_ok());
+  std::vector<u32> data(32, 0xAABBCCDDu);
+  ASSERT_TRUE(device.to_device<u32>(in.value(), data).is_ok());
+
+  for (u8 width : {u8{1}, u8{2}}) {
+    KernelBuilder b("narrow");
+    b.s2r(0, sim::SpecialReg::kLaneId);
+    b.ldc_u64(2, 0);
+    b.ldc_u64(4, 1);
+    b.imad_wide(6, Operand::reg(0), Operand::imm_u(4), Operand::reg(2));
+    b.imad_wide(8, Operand::reg(0), Operand::imm_u(4), Operand::reg(4));
+    b.ldg(12, 6, 0, width);
+    b.stg(8, 12);
+    b.exit_();
+    auto program = must(b);
+    const u64 params[] = {in.value(), out.value()};
+    auto result = launch_or_die(device, program, Dim3(1), Dim3(32), params);
+    ASSERT_TRUE(result.ok());
+    std::vector<u32> host(32);
+    ASSERT_EQ(device.to_host(std::span<u32>(host), out.value()),
+              TrapKind::kNone);
+    const u32 want = width == 1 ? 0xDDu : 0xCCDDu;
+    for (u32 v : host) EXPECT_EQ(v, want);
+  }
+}
+
+TEST(ExecMemory, SharedMemoryRoundTripAndRotation) {
+  // Each lane writes lane*3 to shared[lane], reads shared[(lane+1)%32].
+  auto out = run_lane_kernel([](KernelBuilder& b) {
+    b.set_shared_bytes(32 * 4);
+    b.imul_u32(4, Operand::reg(0), Operand::imm_u(3));
+    b.shf(sim::ShiftKind::kLeft, 5, Operand::reg(0), Operand::imm_u(2));
+    b.sts(5, 4);
+    b.bar();
+    b.iadd_u32(6, Operand::reg(0), Operand::imm_u(1));
+    b.lop(sim::LopKind::kAnd, 6, Operand::reg(6), Operand::imm_u(31));
+    b.shf(sim::ShiftKind::kLeft, 6, Operand::reg(6), Operand::imm_u(2));
+    b.lds(10, 6);
+  });
+  for (u32 lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(out[lane], ((lane + 1) % 32) * 3);
+  }
+}
+
+TEST(ExecMemory, GlobalAtomicsAllKinds) {
+  // 32 lanes atomically add lane id into one word: sum = 496.
+  Device device(arch::toy());
+  auto cell = device.malloc_n<u32>(4);
+  ASSERT_TRUE(cell.is_ok());
+  const std::vector<u32> init = {0, 100, 5, 42};
+  ASSERT_TRUE(device.to_device<u32>(cell.value(), init).is_ok());
+
+  KernelBuilder b("atomics");
+  b.s2r(0, sim::SpecialReg::kLaneId);
+  b.ldc_u64(2, 0);
+  b.atomg(AtomKind::kAdd, sim::kRegZ, 2, Operand::reg(0));
+  // min into cell[1]: lanes write min(100, lane) -> 0
+  b.iadd_u64(4, Operand::reg(2), Operand::imm_u(4));
+  b.atomg(AtomKind::kMin, sim::kRegZ, 4, Operand::reg(0));
+  // max into cell[2]: -> 31
+  b.iadd_u64(6, Operand::reg(2), Operand::imm_u(8));
+  b.atomg(AtomKind::kMax, sim::kRegZ, 6, Operand::reg(0));
+  // cas on cell[3]: only the lane seeing 42 swaps to 7.
+  b.iadd_u64(8, Operand::reg(2), Operand::imm_u(12));
+  b.atomg(AtomKind::kCas, 12, 8, Operand::imm_u(42), Operand::imm_u(7));
+  b.exit_();
+  auto program = must(b);
+  const u64 params[] = {cell.value()};
+  auto result = launch_or_die(device, program, Dim3(1), Dim3(32), params);
+  ASSERT_TRUE(result.ok()) << result.trap.to_string();
+
+  std::vector<u32> host(4);
+  ASSERT_EQ(device.to_host(std::span<u32>(host), cell.value()),
+            TrapKind::kNone);
+  EXPECT_EQ(host[0], 496u);  // sum 0..31
+  EXPECT_EQ(host[1], 0u);
+  EXPECT_EQ(host[2], 31u);  // max(5, lanes 0..31)
+  EXPECT_EQ(host[3], 7u);    // CAS succeeded exactly once
+}
+
+TEST(ExecMemory, SharedAtomicsAndExchange) {
+  auto out = run_lane_kernel([](KernelBuilder& b) {
+    b.set_shared_bytes(8);
+    b.mov_u32(4, Operand::imm_u(0));
+    b.isetp(CmpOp::kEq, 0, Operand::reg(0), Operand::imm_u(0));
+    b.if_then(0, false, [&] {
+      b.mov_u32(5, Operand::imm_u(0));
+      b.sts(4, 5);
+    });
+    b.bar();
+    b.atoms(AtomKind::kAdd, 6, 4, Operand::imm_u(1));  // R6 = old ticket
+    b.mov_u32(10, Operand::reg(6));
+  });
+  // Tickets are 0..31 in some order; each exactly once.
+  std::vector<bool> seen(32, false);
+  for (u32 lane = 0; lane < 32; ++lane) {
+    ASSERT_LT(out[lane], 32u);
+    EXPECT_FALSE(seen[out[lane]]);
+    seen[out[lane]] = true;
+  }
+}
+
+TEST(ExecMemory, FloatAtomicAdd) {
+  Device device(arch::toy());
+  auto cell = device.malloc_n<f32>(1);
+  ASSERT_TRUE(cell.is_ok());
+  const f32 zero = 0.0f;
+  ASSERT_TRUE(
+      device.to_device<f32>(cell.value(), std::span<const f32>(&zero, 1))
+          .is_ok());
+
+  KernelBuilder b("fatomic");
+  b.ldc_u64(2, 0);
+  b.mov_f32(4, 1.5f);
+  b.atomg(AtomKind::kAdd, sim::kRegZ, 2, Operand::reg(4), Operand::none(),
+          DType::kF32);
+  b.exit_();
+  auto program = must(b);
+  const u64 params[] = {cell.value()};
+  auto result = launch_or_die(device, program, Dim3(1), Dim3(32), params);
+  ASSERT_TRUE(result.ok());
+
+  f32 host = 0;
+  ASSERT_EQ(device.to_host(std::span<f32>(&host, 1), cell.value()),
+            TrapKind::kNone);
+  EXPECT_EQ(host, 48.0f);  // 32 * 1.5, exact in f32
+}
+
+TEST(ExecMemory, ParamLoadBoundsChecked) {
+  KernelBuilder b("bad_param");
+  b.ldc_u32(2, 3);  // requires 4 params
+  b.exit_();
+  auto program = must(b);
+  Device device(arch::toy());
+  const u64 params[] = {1, 2};  // too few
+  auto launch = device.launch(program, Dim3(1), Dim3(32), params);
+  EXPECT_FALSE(launch.is_ok());  // rejected before execution
+}
+
+// ------------------------------------------------------------- traps --
+
+TEST(ExecMemoryTrap, OutOfBoundsGlobalLoad) {
+  KernelBuilder b("oob");
+  b.mov_u64(2, 0x10ULL);  // below the device arena base
+  b.ldg(4, 2);
+  b.exit_();
+  auto program = must(b);
+  Device device(arch::toy());
+  auto launch = device.launch(program, Dim3(1), Dim3(32), {});
+  ASSERT_TRUE(launch.is_ok());
+  EXPECT_EQ(launch.value().trap.kind, TrapKind::kIllegalGlobalAddress);
+}
+
+TEST(ExecMemoryTrap, MisalignedAccess) {
+  Device device(arch::toy());
+  auto buf = device.malloc_n<u32>(64);
+  ASSERT_TRUE(buf.is_ok());
+  KernelBuilder b("misaligned");
+  b.ldc_u64(2, 0);
+  b.iadd_u64(2, Operand::reg(2), Operand::imm_u(2));  // 2-byte offset
+  b.ldg(4, 2);  // 4-byte load at 2-byte alignment
+  b.exit_();
+  auto program = must(b);
+  const u64 params[] = {buf.value()};
+  auto launch = device.launch(program, Dim3(1), Dim3(32), params);
+  ASSERT_TRUE(launch.is_ok());
+  EXPECT_EQ(launch.value().trap.kind, TrapKind::kMisalignedAddress);
+}
+
+TEST(ExecMemoryTrap, SharedOutOfBounds) {
+  KernelBuilder b("shared_oob");
+  b.set_shared_bytes(64);
+  b.mov_u32(2, Operand::imm_u(128));
+  b.mov_u32(3, Operand::imm_u(1));
+  b.sts(2, 3);
+  b.exit_();
+  auto program = must(b);
+  Device device(arch::toy());
+  auto launch = device.launch(program, Dim3(1), Dim3(32), {});
+  ASSERT_TRUE(launch.is_ok());
+  EXPECT_EQ(launch.value().trap.kind, TrapKind::kIllegalSharedAddress);
+  EXPECT_GT(launch.value().trap.pc, 0u);
+}
+
+TEST(ExecMemoryTrap, TrapReportsFaultingAddress) {
+  KernelBuilder b("addr_report");
+  b.mov_u64(2, 0xDEAD0000ULL);
+  b.stg(2, 4);
+  b.exit_();
+  auto program = must(b);
+  Device device(arch::toy());
+  auto launch = device.launch(program, Dim3(1), Dim3(32), {});
+  ASSERT_TRUE(launch.is_ok());
+  EXPECT_EQ(launch.value().trap.kind, TrapKind::kIllegalGlobalAddress);
+  EXPECT_EQ(launch.value().trap.address, 0xDEAD0000ULL);
+}
+
+}  // namespace
+}  // namespace gfi

@@ -1,0 +1,297 @@
+// SIMT semantics: divergence/reconvergence, guarded execution and exits,
+// barriers, warp shuffles/votes, and the tensor-core MMA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "sim_test_util.h"
+
+namespace gfi {
+namespace {
+
+using sim::CmpOp;
+using sim::Device;
+using gfi::Dim3;
+using sim::KernelBuilder;
+using sim::Operand;
+using sim::ShflKind;
+using sim::TrapKind;
+using sim::VoteKind;
+using sim_test::must;
+using sim_test::run_lane_kernel;
+
+TEST(ExecSimt, IfThenDiverges) {
+  auto out = run_lane_kernel([](KernelBuilder& b) {
+    b.mov_u32(10, Operand::imm_u(0));
+    b.isetp(CmpOp::kLt, 0, Operand::reg(0), Operand::imm_u(10));
+    b.if_then(0, false, [&] {
+      b.mov_u32(10, Operand::imm_u(1));
+    });
+    b.iadd_u32(10, Operand::reg(10), Operand::imm_u(100));  // post-reconverge
+  });
+  for (u32 lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(out[lane], lane < 10 ? 101u : 100u);
+  }
+}
+
+TEST(ExecSimt, IfThenElseBothPathsRun) {
+  auto out = run_lane_kernel([](KernelBuilder& b) {
+    b.isetp(CmpOp::kLt, 0, Operand::reg(0), Operand::imm_u(16));
+    b.if_then_else(
+        0, false,
+        [&] { b.imul_u32(10, Operand::reg(0), Operand::imm_u(2)); },
+        [&] { b.imul_u32(10, Operand::reg(0), Operand::imm_u(3)); });
+  });
+  for (u32 lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(out[lane], lane < 16 ? lane * 2 : lane * 3);
+  }
+}
+
+TEST(ExecSimt, NestedDivergence) {
+  auto out = run_lane_kernel([](KernelBuilder& b) {
+    b.mov_u32(10, Operand::imm_u(0));
+    b.isetp(CmpOp::kLt, 0, Operand::reg(0), Operand::imm_u(16));
+    b.if_then(0, false, [&] {
+      b.isetp(CmpOp::kLt, 1, Operand::reg(0), Operand::imm_u(8));
+      b.if_then_else(
+          1, false,
+          [&] { b.mov_u32(10, Operand::imm_u(1)); },
+          [&] { b.mov_u32(10, Operand::imm_u(2)); });
+    });
+  });
+  for (u32 lane = 0; lane < 32; ++lane) {
+    const u32 want = lane < 8 ? 1u : lane < 16 ? 2u : 0u;
+    EXPECT_EQ(out[lane], want);
+  }
+}
+
+TEST(ExecSimt, GuardedInstructionWithoutBranch) {
+  // @P IADD executes only on guard-true lanes, no divergence machinery.
+  auto out = run_lane_kernel([](KernelBuilder& b) {
+    b.mov_u32(10, Operand::imm_u(7));
+    b.isetp(CmpOp::kGe, 0, Operand::reg(0), Operand::imm_u(16));
+    b.iadd_u32(10, Operand::reg(10), Operand::imm_u(1));
+    b.guard_last(0);
+  });
+  for (u32 lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(out[lane], lane >= 16 ? 8u : 7u);
+  }
+}
+
+TEST(ExecSimt, PartialWarpExitLeavesOthersRunning) {
+  // Half the warp exits early; survivors keep computing and storing.
+  auto out = run_lane_kernel([](KernelBuilder& b) {
+    b.mov_u32(10, Operand::imm_u(5));
+    // Pre-store a sentinel for the exiting lanes via all lanes first.
+    b.ldc_u64(30, 0);
+    b.s2r(34, sim::SpecialReg::kLaneId);
+    b.imad_wide(32, Operand::reg(34), Operand::imm_u(4), Operand::reg(30));
+    b.stg(32, 10);
+    b.isetp(CmpOp::kLt, 0, Operand::reg(0), Operand::imm_u(16));
+    b.exit_if(0);
+    b.mov_u32(10, Operand::imm_u(9));
+  });
+  for (u32 lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(out[lane], lane < 16 ? 5u : 9u);
+  }
+}
+
+TEST(ExecSimt, DivergentLoopTripCounts) {
+  // Lane i iterates i+1 times: result = sum of 1s = i+1.
+  auto out = run_lane_kernel([](KernelBuilder& b) {
+    b.mov_u32(10, Operand::imm_u(0));
+    b.iadd_u32(4, Operand::reg(0), Operand::imm_u(1));  // bound = lane + 1
+    b.mov_u32(5, Operand::imm_u(0));                    // counter
+    b.uniform_loop(5, Operand::reg(4), 1, [&] {
+      b.iadd_u32(10, Operand::reg(10), Operand::imm_u(1));
+    });
+  });
+  for (u32 lane = 0; lane < 32; ++lane) EXPECT_EQ(out[lane], lane + 1);
+}
+
+TEST(ExecSimt, BarrierOrdersProducersBeforeConsumers) {
+  // Two warps: warp 0 writes shared, warp 1 reads after BAR.
+  KernelBuilder b("barrier");
+  b.set_shared_bytes(32 * 4);
+  b.s2r(0, sim::SpecialReg::kTidX);     // 0..63
+  b.s2r(1, sim::SpecialReg::kWarpId);   // 0 or 1
+  b.lop(sim::LopKind::kAnd, 2, Operand::reg(0), Operand::imm_u(31));  // lane
+  b.isetp(CmpOp::kEq, 0, Operand::reg(1), Operand::imm_u(0));
+  b.if_then(0, false, [&] {
+    b.imul_u32(4, Operand::reg(2), Operand::imm_u(11));
+    b.shf(sim::ShiftKind::kLeft, 5, Operand::reg(2), Operand::imm_u(2));
+    b.sts(5, 4);
+  });
+  b.bar();
+  b.isetp(CmpOp::kEq, 0, Operand::reg(1), Operand::imm_u(1));
+  b.if_then(0, false, [&] {
+    b.shf(sim::ShiftKind::kLeft, 5, Operand::reg(2), Operand::imm_u(2));
+    b.lds(6, 5);
+    b.ldc_u64(8, 0);
+    b.imad_wide(10, Operand::reg(2), Operand::imm_u(4), Operand::reg(8));
+    b.stg(10, 6);
+  });
+  b.exit_();
+  auto program = must(b);
+
+  Device device(arch::toy());
+  auto out = device.malloc_n<u32>(32);
+  ASSERT_TRUE(out.is_ok());
+  const u64 params[] = {out.value()};
+  auto launch = device.launch(program, Dim3(1), Dim3(64), params);
+  ASSERT_TRUE(launch.is_ok());
+  ASSERT_TRUE(launch.value().ok()) << launch.value().trap.to_string();
+
+  std::vector<u32> host(32);
+  ASSERT_EQ(device.to_host(std::span<u32>(host), out.value()),
+            TrapKind::kNone);
+  for (u32 i = 0; i < 32; ++i) EXPECT_EQ(host[i], i * 11);
+}
+
+TEST(ExecSimt, ShuffleVariants) {
+  // idx: broadcast lane 3.
+  auto idx = run_lane_kernel([](KernelBuilder& b) {
+    b.imul_u32(4, Operand::reg(0), Operand::imm_u(10));
+    b.shfl(ShflKind::kIdx, 10, 4, Operand::imm_u(3));
+  });
+  for (u32 lane = 0; lane < 32; ++lane) EXPECT_EQ(idx[lane], 30u);
+
+  // down by 1: lane i gets lane i+1's value; lane 31 keeps its own.
+  auto down = run_lane_kernel([](KernelBuilder& b) {
+    b.imul_u32(4, Operand::reg(0), Operand::imm_u(10));
+    b.shfl(ShflKind::kDown, 10, 4, Operand::imm_u(1));
+  });
+  for (u32 lane = 0; lane < 31; ++lane) EXPECT_EQ(down[lane], (lane + 1) * 10);
+  EXPECT_EQ(down[31], 310u);
+
+  // up by 2: lane i gets lane i-2; lanes 0,1 keep their own.
+  auto up = run_lane_kernel([](KernelBuilder& b) {
+    b.imul_u32(4, Operand::reg(0), Operand::imm_u(10));
+    b.shfl(ShflKind::kUp, 10, 4, Operand::imm_u(2));
+  });
+  EXPECT_EQ(up[0], 0u);
+  EXPECT_EQ(up[1], 10u);
+  for (u32 lane = 2; lane < 32; ++lane) EXPECT_EQ(up[lane], (lane - 2) * 10);
+
+  // bfly by 1: pairs swap.
+  auto bfly = run_lane_kernel([](KernelBuilder& b) {
+    b.imul_u32(4, Operand::reg(0), Operand::imm_u(10));
+    b.shfl(ShflKind::kBfly, 10, 4, Operand::imm_u(1));
+  });
+  for (u32 lane = 0; lane < 32; ++lane) EXPECT_EQ(bfly[lane], (lane ^ 1u) * 10);
+}
+
+TEST(ExecSimt, WarpShuffleReductionSumsLanes) {
+  auto out = run_lane_kernel([](KernelBuilder& b) {
+    b.mov_u32(10, Operand::reg(0));
+    for (u32 delta = 16; delta > 0; delta >>= 1) {
+      b.shfl(ShflKind::kDown, 4, 10, Operand::imm_u(delta));
+      b.iadd_u32(10, Operand::reg(10), Operand::reg(4));
+    }
+  });
+  EXPECT_EQ(out[0], 496u);  // sum 0..31 lands in lane 0
+}
+
+TEST(ExecSimt, VoteAllAnyBallot) {
+  auto out = run_lane_kernel([](KernelBuilder& b) {
+    b.isetp(CmpOp::kLt, 0, Operand::reg(0), Operand::imm_u(32));  // all true
+    b.vote(VoteKind::kAll, Operand::pred(1), 0);
+    b.sel(4, Operand::imm_u(1), Operand::imm_u(0), 1);
+    b.isetp(CmpOp::kEq, 0, Operand::reg(0), Operand::imm_u(5));  // one lane
+    b.vote(VoteKind::kAny, Operand::pred(1), 0);
+    b.sel(5, Operand::imm_u(2), Operand::imm_u(0), 1);
+    b.isetp(CmpOp::kLt, 0, Operand::reg(0), Operand::imm_u(4));
+    b.vote(VoteKind::kBallot, Operand::reg(6), 0);
+    b.iadd_u32(10, Operand::reg(4), Operand::reg(5));
+    b.iadd_u32(10, Operand::reg(10), Operand::reg(6));
+  });
+  for (u32 lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(out[lane], 1u + 2u + 0xFu);
+  }
+}
+
+TEST(ExecSimt, HmmaComputesTf32TileProduct) {
+  // Full-warp 16x8x8 MMA with identity-like fragments: A[i][k] = (i==k),
+  // B[k][j] = k*8+j, C = 0 -> D[i][j] = B[i][j] for i < 8, else 0.
+  KernelBuilder b("hmma_test");
+  b.s2r(0, sim::SpecialReg::kLaneId);
+  // Build fragments in registers: element e = slot*32 + lane.
+  for (u16 slot = 0; slot < 4; ++slot) {
+    // A: e = i*8 + k; value = (i == k) ? 1.0 : 0.0
+    b.iadd_u32(2, Operand::reg(0), Operand::imm_u(slot * 32u));
+    b.shf(sim::ShiftKind::kRightLogical, 3, Operand::reg(2), Operand::imm_u(3));
+    b.lop(sim::LopKind::kAnd, 4, Operand::reg(2), Operand::imm_u(7));
+    b.isetp(CmpOp::kEq, 0, Operand::reg(3), Operand::reg(4));
+    b.sel(5, Operand::imm_f32(1.0f), Operand::imm_f32(0.0f), 0);
+    b.mov_u32(static_cast<u16>(16 + slot), Operand::reg(5));
+    b.mov_f32(static_cast<u16>(24 + slot), 0.0f);  // C fragment = 0
+  }
+  for (u16 slot = 0; slot < 2; ++slot) {
+    // B: value = e as float
+    b.iadd_u32(2, Operand::reg(0), Operand::imm_u(slot * 32u));
+    b.i2f(static_cast<u16>(20 + slot), Operand::reg(2));
+  }
+  b.hmma(28, 16, 20, 24);
+  // Store D (4 regs per lane).
+  b.ldc_u64(34, 0);
+  for (u16 slot = 0; slot < 4; ++slot) {
+    b.iadd_u32(2, Operand::reg(0), Operand::imm_u(slot * 32u));
+    b.imad_wide(36, Operand::reg(2), Operand::imm_u(4), Operand::reg(34));
+    b.stg(36, static_cast<u16>(28 + slot));
+  }
+  b.exit_();
+  auto program = must(b);
+
+  Device device(arch::toy());
+  auto out = device.malloc_n<f32>(128);
+  ASSERT_TRUE(out.is_ok());
+  const u64 params[] = {out.value()};
+  auto launch = device.launch(program, Dim3(1), Dim3(32), params);
+  ASSERT_TRUE(launch.is_ok());
+  ASSERT_TRUE(launch.value().ok()) << launch.value().trap.to_string();
+
+  std::vector<f32> host(128);
+  ASSERT_EQ(device.to_host(std::span<f32>(host), out.value()),
+            TrapKind::kNone);
+  for (u32 i = 0; i < 16; ++i) {
+    for (u32 j = 0; j < 8; ++j) {
+      const f32 want = i < 8 ? to_tf32(static_cast<f32>(i * 8 + j)) : 0.0f;
+      EXPECT_EQ(host[i * 8 + j], want) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(ExecSimt, HmmaPartialWarpTraps) {
+  KernelBuilder b("hmma_partial");
+  b.s2r(0, sim::SpecialReg::kLaneId);
+  b.isetp(CmpOp::kLt, 0, Operand::reg(0), Operand::imm_u(16));
+  b.exit_if(0);
+  for (u16 r = 16; r < 28; ++r) b.mov_f32(r, 0.0f);
+  b.hmma(28, 16, 20, 24);
+  b.exit_();
+  auto program = must(b);
+  Device device(arch::toy());
+  auto launch = device.launch(program, Dim3(1), Dim3(32), {});
+  ASSERT_TRUE(launch.is_ok());
+  EXPECT_EQ(launch.value().trap.kind, TrapKind::kIllegalInstruction);
+}
+
+TEST(ExecSimt, WatchdogCatchesInfiniteLoop) {
+  KernelBuilder b("spin");
+  auto top = b.new_label();
+  b.bind(top);
+  b.bra(top);
+  b.exit_();
+  auto program = must(b);
+  Device device(arch::toy());
+  sim::LaunchOptions options;
+  options.watchdog_instrs = 1000;
+  auto launch = device.launch(program, Dim3(1), Dim3(32), {}, options);
+  ASSERT_TRUE(launch.is_ok());
+  EXPECT_EQ(launch.value().trap.kind, TrapKind::kWatchdogTimeout);
+  EXPECT_GE(launch.value().dyn_warp_instrs, 1000u);
+}
+
+}  // namespace
+}  // namespace gfi

@@ -1,0 +1,178 @@
+// SWIFT hardening tests: transform correctness (hardened kernels still
+// compute the right answers), detection (injected dataflow corruption is
+// turned into a deliberate trap), overhead accounting, and eligibility.
+#include <gtest/gtest.h>
+
+#include "fi/campaign.h"
+#include "harden/swift.h"
+#include "sim_test_util.h"
+#include "workloads/workload.h"
+
+namespace gfi {
+namespace {
+
+using gfi::Dim3;
+using harden::swift_harden;
+using harden::SwiftStats;
+using sim::Device;
+using sim::KernelBuilder;
+using sim::Operand;
+using sim::TrapKind;
+using sim_test::must;
+
+class HardenedGolden : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HardenedGolden, HardenedKernelStillComputesCorrectly) {
+  auto workload = harden::make_hardened(GetParam());
+  if (!workload) GTEST_SKIP() << GetParam() << " is not hardenable";
+  // A100: the doubled register footprint can exceed the toy SM's file.
+  Device device(arch::a100());
+  auto spec = workload->setup(device);
+  ASSERT_TRUE(spec.is_ok()) << spec.status().to_string();
+  auto launch = device.launch(workload->program(), spec.value().grid,
+                              spec.value().block, spec.value().params);
+  ASSERT_TRUE(launch.is_ok()) << launch.status().to_string();
+  ASSERT_TRUE(launch.value().ok()) << launch.value().trap.to_string();
+  auto checked = workload->check(device);
+  ASSERT_TRUE(checked.is_ok());
+  EXPECT_TRUE(checked.value().result.passed())
+      << GetParam() << " max rel err " << checked.value().result.max_rel_err;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, HardenedGolden,
+                         ::testing::ValuesIn(wl::workload_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(Swift, StatsAccountOverhead) {
+  auto inner = wl::make_workload("saxpy");
+  SwiftStats stats;
+  auto hardened = swift_harden(inner->program(), &stats);
+  ASSERT_TRUE(hardened.is_ok()) << hardened.status().to_string();
+  EXPECT_EQ(stats.original_instrs, inner->program().size());
+  EXPECT_GT(stats.hardened_instrs, stats.original_instrs);
+  EXPECT_GT(stats.duplicated, 0u);
+  EXPECT_GT(stats.checks, 0u);
+  EXPECT_GT(stats.static_overhead(), 1.0);
+  EXPECT_LT(stats.static_overhead(), 6.0);
+  EXPECT_EQ(hardened.value().num_regs(), 2 * inner->program().num_regs());
+  EXPECT_EQ(hardened.value().name(), "saxpy_swift");
+}
+
+TEST(Swift, RejectsHmmaKernels) {
+  auto inner = wl::make_workload("gemm_hmma");
+  auto hardened = swift_harden(inner->program());
+  EXPECT_FALSE(hardened.is_ok());
+  EXPECT_EQ(hardened.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(harden::make_hardened("gemm_hmma"), nullptr);
+}
+
+TEST(Swift, RejectsProgramsUsingP6) {
+  KernelBuilder b("uses_p6");
+  b.isetp(sim::CmpOp::kEq, 6, Operand::reg(0), Operand::imm_u(0));
+  b.exit_();
+  auto program = must(b);
+  EXPECT_FALSE(swift_harden(program).is_ok());
+}
+
+TEST(Swift, DetectsCorruptedStoreValue) {
+  // Inject a single-bit IOV flip into the value-producing IADD of a
+  // hardened kernel: the pre-store check must convert it into a trap.
+  KernelBuilder b("guarded_add");
+  b.s2r(0, sim::SpecialReg::kLaneId);
+  b.iadd_u32(4, Operand::reg(0), Operand::imm_u(1000));
+  b.ldc_u64(6, 0);
+  b.imad_wide(8, Operand::reg(0), Operand::imm_u(4), Operand::reg(6));
+  b.stg(8, 4);
+  b.exit_();
+  auto base = must(b);
+  auto hardened = swift_harden(base);
+  ASSERT_TRUE(hardened.is_ok());
+
+  Device device(arch::toy());
+  auto out = device.malloc_n<u32>(32);
+  const u64 params[] = {out.value()};
+
+  // Strike the master IADD (the duplicate writes the shadow; checks catch
+  // the divergence). Find the IADD occurrence among INT-group instrs: in
+  // the hardened stream the P6 init is occurrence 0's predecessor... use
+  // opcode-targeted search via occurrence sweep: strike each INT occurrence
+  // until the struck opcode is the IADD writing R4.
+  bool detected_as_trap = false;
+  for (u64 occurrence = 0; occurrence < 12 && !detected_as_trap;
+       ++occurrence) {
+    fi::FaultSite site;
+    site.model = {fi::InjectionMode::kIov, fi::BitFlipModel::kSingle};
+    site.group = sim::InstrGroup::kInt;
+    site.target_occurrence = occurrence;
+    site.lane_sel = 3;
+    site.bit_sel = 12;
+    fi::InjectorHook injector(site, device.config());
+    sim::LaunchOptions options;
+    options.hooks.push_back(&injector);
+    auto launch = device.launch(hardened.value(), Dim3(1), Dim3(32), params,
+                                options);
+    ASSERT_TRUE(launch.is_ok());
+    if (injector.effect().struck_opcode != sim::Opcode::kIAdd) continue;
+    // The corruption hit master or shadow of the stored value: the store
+    // check must have trapped at address 0.
+    EXPECT_TRUE(launch.value().trap.fired());
+    EXPECT_EQ(launch.value().trap.kind, TrapKind::kIllegalGlobalAddress);
+    EXPECT_EQ(launch.value().trap.address, 0u);
+    detected_as_trap = true;
+  }
+  EXPECT_TRUE(detected_as_trap);
+}
+
+TEST(Swift, CleanHardenedRunDoesNotTrap) {
+  auto workload = harden::make_hardened("gemm");
+  ASSERT_NE(workload, nullptr);
+  Device device(arch::toy());
+  auto spec = workload->setup(device);
+  ASSERT_TRUE(spec.is_ok());
+  auto launch = device.launch(workload->program(), spec.value().grid,
+                              spec.value().block, spec.value().params);
+  ASSERT_TRUE(launch.value().ok()) << launch.value().trap.to_string();
+}
+
+TEST(Swift, CampaignShowsSdcToDueConversion) {
+  harden::register_hardened_workloads();
+
+  auto run = [](const std::string& name) {
+    fi::CampaignConfig config;
+    config.workload = name;
+    config.machine = arch::toy();
+    config.model = {fi::InjectionMode::kIov, fi::BitFlipModel::kSingle};
+    config.num_injections = 120;
+    config.seed = 99;
+    auto result = fi::Campaign::run(config);
+    EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+    return std::move(result).take();
+  };
+  const auto baseline = run("saxpy");
+  const auto hardened = run("saxpy_swift");
+
+  // Hardening must cut the SDC rate sharply and raise detection (DUE).
+  EXPECT_LT(hardened.rate(fi::Outcome::kSdc),
+            baseline.rate(fi::Outcome::kSdc) / 2);
+  EXPECT_GT(hardened.rate(fi::Outcome::kDue),
+            baseline.rate(fi::Outcome::kDue));
+}
+
+TEST(Swift, RegisteredVariantsAppearInRegistry) {
+  harden::register_hardened_workloads();
+  auto names = wl::workload_names();
+  bool found = false;
+  for (const auto& name : names) {
+    if (name == "gemm_swift") found = true;
+    EXPECT_EQ(name.find("gemm_hmma_swift"), std::string::npos);
+  }
+  EXPECT_TRUE(found);
+  auto workload = wl::make_workload("gemm_swift");
+  ASSERT_NE(workload, nullptr);
+  EXPECT_EQ(workload->name(), "gemm_swift");
+}
+
+}  // namespace
+}  // namespace gfi

@@ -1,0 +1,227 @@
+// ISA metadata, program validation, and kernel-builder unit tests.
+#include <gtest/gtest.h>
+
+#include "sassim/isa.h"
+#include "sassim/kernel_builder.h"
+#include "sassim/program.h"
+
+namespace gfi::sim {
+namespace {
+
+TEST(Isa, OperandFactories) {
+  EXPECT_TRUE(Operand::reg(5).is_reg());
+  EXPECT_EQ(Operand::reg(5).index, 5);
+  EXPECT_TRUE(Operand::imm_u(42).is_imm());
+  EXPECT_EQ(Operand::imm_u(42).imm, 42u);
+  EXPECT_EQ(Operand::imm_s(-1).imm, ~0ULL);
+  EXPECT_TRUE(Operand::pred(2, true).negated);
+  EXPECT_TRUE(Operand::none().is_none());
+}
+
+TEST(Isa, FloatImmediatesBitCast) {
+  const Operand f = Operand::imm_f32(1.5f);
+  EXPECT_EQ(f.imm, 0x3FC00000u);
+  const Operand d = Operand::imm_f64(1.0);
+  EXPECT_EQ(d.imm, 0x3FF0000000000000ULL);
+}
+
+TEST(Isa, GroupsCoverEveryOpcode) {
+  for (int op = 0; op < kOpcodeCount; ++op) {
+    Instr instr;
+    instr.op = static_cast<Opcode>(op);
+    const InstrGroup group = instr_group(instr);
+    EXPECT_GE(static_cast<int>(group), 0);
+    EXPECT_LT(static_cast<int>(group), kInstrGroupCount);
+    EXPECT_STRNE(opcode_name(instr.op), "???");
+  }
+}
+
+TEST(Isa, Fp64GroupSplitsByDtype) {
+  Instr instr;
+  instr.op = Opcode::kFAdd;
+  instr.dtype = DType::kF32;
+  EXPECT_EQ(instr_group(instr), InstrGroup::kFp32);
+  instr.dtype = DType::kF64;
+  EXPECT_EQ(instr_group(instr), InstrGroup::kFp64);
+  instr.op = Opcode::kFFma;
+  instr.dtype = DType::kF32;
+  EXPECT_EQ(instr_group(instr), InstrGroup::kFp32Fma);
+}
+
+TEST(Isa, WritesRegAndPredClassification) {
+  Instr setp;
+  setp.op = Opcode::kISetp;
+  setp.dst = Operand::pred(0);
+  EXPECT_TRUE(setp.writes_pred());
+  EXPECT_FALSE(setp.writes_reg());
+
+  Instr add;
+  add.op = Opcode::kIAdd;
+  add.dst = Operand::reg(3);
+  EXPECT_TRUE(add.writes_reg());
+
+  Instr store;
+  store.op = Opcode::kStg;
+  EXPECT_FALSE(store.writes_reg());
+  EXPECT_TRUE(store.is_store());
+  EXPECT_TRUE(store.is_memory());
+
+  Instr bra;
+  bra.op = Opcode::kBra;
+  EXPECT_TRUE(bra.is_control());
+}
+
+TEST(Isa, DstSpans) {
+  Instr wide;
+  wide.op = Opcode::kIAdd;
+  wide.dtype = DType::kU64;
+  EXPECT_EQ(wide.dst_reg_span(), 2);
+  Instr hmma;
+  hmma.op = Opcode::kHmma;
+  EXPECT_EQ(hmma.dst_reg_span(), 4);
+  Instr load;
+  load.op = Opcode::kLdg;
+  load.mem_width = 8;
+  EXPECT_EQ(load.dst_reg_span(), 2);
+}
+
+TEST(Isa, Disassembly) {
+  Instr instr;
+  instr.op = Opcode::kIAdd;
+  instr.dtype = DType::kU32;
+  instr.dst = Operand::reg(3);
+  instr.src[0] = Operand::reg(1);
+  instr.src[1] = Operand::imm_u(16);
+  instr.guard_pred = 0;
+  const std::string text = to_string(instr);
+  EXPECT_NE(text.find("@P0"), std::string::npos);
+  EXPECT_NE(text.find("IADD.U32"), std::string::npos);
+  EXPECT_NE(text.find("R3"), std::string::npos);
+  EXPECT_NE(text.find("0x10"), std::string::npos);
+}
+
+// ------------------------------------------------------------- builder --
+
+TEST(Builder, TracksRegisterBudget) {
+  KernelBuilder b("regs");
+  b.mov_u32(7, Operand::imm_u(1));
+  b.iadd_u64(10, Operand::reg(4), Operand::reg(6));  // pair writes R10:R11
+  b.exit_();
+  auto program = b.build();
+  ASSERT_TRUE(program.is_ok());
+  EXPECT_EQ(program.value().num_regs(), 12);  // R11 is the highest touched
+}
+
+TEST(Builder, TracksParamCount) {
+  KernelBuilder b("params");
+  b.ldc_u32(2, 0);
+  b.ldc_u64(4, 3);
+  b.exit_();
+  auto program = b.build();
+  ASSERT_TRUE(program.is_ok());
+  EXPECT_EQ(program.value().num_params(), 4u);
+}
+
+TEST(Builder, UnboundLabelFailsBuild) {
+  KernelBuilder b("dangling");
+  auto label = b.new_label();
+  b.bra(label);
+  b.exit_();
+  auto program = b.build();
+  EXPECT_FALSE(program.is_ok());
+  EXPECT_EQ(program.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Builder, IfThenEmitsSsySyncPair) {
+  KernelBuilder b("structured");
+  b.isetp(CmpOp::kEq, 0, Operand::reg(0), Operand::imm_u(0));
+  b.if_then(0, false, [&] { b.nop(); });
+  b.exit_();
+  auto program = b.build();
+  ASSERT_TRUE(program.is_ok()) << program.status().to_string();
+  int ssy = 0, sync = 0;
+  for (const Instr& instr : program.value().code()) {
+    if (instr.op == Opcode::kSsy) ++ssy;
+    if (instr.op == Opcode::kSync) ++sync;
+  }
+  EXPECT_EQ(ssy, 1);
+  EXPECT_EQ(sync, 1);
+}
+
+TEST(Builder, DisassemblesWholeProgram) {
+  KernelBuilder b("listing");
+  b.mov_u32(2, Operand::imm_u(0));
+  b.exit_();
+  auto program = b.build();
+  ASSERT_TRUE(program.is_ok());
+  const std::string text = program.value().disassemble();
+  EXPECT_NE(text.find(".kernel listing"), std::string::npos);
+  EXPECT_NE(text.find("MOV"), std::string::npos);
+  EXPECT_NE(text.find("EXIT"), std::string::npos);
+}
+
+// ---------------------------------------------------------- validation --
+
+TEST(ProgramValidate, RejectsEmpty) {
+  Program empty;
+  EXPECT_FALSE(empty.validate().is_ok());
+}
+
+TEST(ProgramValidate, RejectsMissingExit) {
+  std::vector<Instr> code(1);
+  code[0].op = Opcode::kNop;
+  Program program("no_exit", std::move(code), 4, 0, 0);
+  EXPECT_FALSE(program.validate().is_ok());
+}
+
+TEST(ProgramValidate, RejectsOutOfRangeBranch) {
+  std::vector<Instr> code(2);
+  code[0].op = Opcode::kBra;
+  code[0].target = 99;
+  code[1].op = Opcode::kExit;
+  Program program("bad_target", std::move(code), 4, 0, 0);
+  EXPECT_FALSE(program.validate().is_ok());
+}
+
+TEST(ProgramValidate, RejectsSsyNotPointingAtSync) {
+  std::vector<Instr> code(2);
+  code[0].op = Opcode::kSsy;
+  code[0].target = 1;
+  code[1].op = Opcode::kExit;
+  Program program("bad_ssy", std::move(code), 4, 0, 0);
+  EXPECT_FALSE(program.validate().is_ok());
+}
+
+TEST(ProgramValidate, RejectsRegisterOverBudget) {
+  std::vector<Instr> code(2);
+  code[0].op = Opcode::kIAdd;
+  code[0].dst = Operand::reg(10);
+  code[0].src[0] = Operand::reg(0);
+  code[0].src[1] = Operand::reg(1);
+  code[1].op = Opcode::kExit;
+  Program program("over_budget", std::move(code), 4, 0, 0);
+  EXPECT_FALSE(program.validate().is_ok());
+}
+
+TEST(ProgramValidate, RejectsWritingPT) {
+  std::vector<Instr> code(2);
+  code[0].op = Opcode::kISetp;
+  code[0].dst = Operand::pred(kPredT);
+  code[1].op = Opcode::kExit;
+  Program program("write_pt", std::move(code), 4, 0, 0);
+  EXPECT_FALSE(program.validate().is_ok());
+}
+
+TEST(ProgramValidate, RejectsBadMemWidth) {
+  std::vector<Instr> code(2);
+  code[0].op = Opcode::kLdg;
+  code[0].dst = Operand::reg(0);
+  code[0].src[0] = Operand::reg(2);
+  code[0].mem_width = 3;
+  code[1].op = Opcode::kExit;
+  Program program("bad_width", std::move(code), 8, 0, 0);
+  EXPECT_FALSE(program.validate().is_ok());
+}
+
+}  // namespace
+}  // namespace gfi::sim

@@ -1,0 +1,169 @@
+// GlobalMemory unit tests: allocator, copies, fault map, ECC semantics.
+#include <gtest/gtest.h>
+
+#include "sassim/memory.h"
+
+namespace gfi::sim {
+namespace {
+
+constexpr u64 kCap = 1u << 20;
+
+TEST(Memory, AllocatorAlignsAndAdvances) {
+  GlobalMemory memory(kCap, ecc::EccMode::kSecded);
+  auto a = memory.allocate(100);
+  auto b = memory.allocate(100);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_GE(a.value(), GlobalMemory::kBaseAddress);
+  EXPECT_EQ(a.value() % 256, 0u);
+  EXPECT_EQ(b.value() % 256, 0u);
+  EXPECT_GE(b.value(), a.value() + 100);
+}
+
+TEST(Memory, AllocatorRejectsBadArguments) {
+  GlobalMemory memory(kCap, ecc::EccMode::kSecded);
+  EXPECT_FALSE(memory.allocate(0).is_ok());
+  EXPECT_FALSE(memory.allocate(16, 3).is_ok());
+  EXPECT_FALSE(memory.allocate(kCap + 1).is_ok());
+}
+
+TEST(Memory, ExhaustionReported) {
+  GlobalMemory memory(4096, ecc::EccMode::kSecded);
+  ASSERT_TRUE(memory.allocate(4096).is_ok());
+  EXPECT_FALSE(memory.allocate(1).is_ok());
+}
+
+TEST(Memory, ReadWriteRoundTrip) {
+  GlobalMemory memory(kCap, ecc::EccMode::kSecded);
+  const u64 addr = memory.allocate(64).value();
+  const u32 value = 0xCAFEBABE;
+  EXPECT_EQ(memory.write(addr, &value, 4), TrapKind::kNone);
+  u32 got = 0;
+  EXPECT_EQ(memory.read(addr, &got, 4), TrapKind::kNone);
+  EXPECT_EQ(got, value);
+}
+
+TEST(Memory, OutOfBoundsTraps) {
+  GlobalMemory memory(kCap, ecc::EccMode::kSecded);
+  const u64 addr = memory.allocate(64).value();
+  u32 word = 0;
+  EXPECT_EQ(memory.read(0, &word, 4), TrapKind::kIllegalGlobalAddress);
+  EXPECT_EQ(memory.read(addr + 64, &word, 4),
+            TrapKind::kIllegalGlobalAddress);
+  EXPECT_EQ(memory.write(addr - 8, &word, 4),
+            TrapKind::kIllegalGlobalAddress);
+}
+
+TEST(Memory, SingleBitFaultCorrectedUnderEcc) {
+  GlobalMemory memory(kCap, ecc::EccMode::kSecded);
+  const u64 addr = memory.allocate(64).value();
+  const u32 value = 0x12345678;
+  ASSERT_EQ(memory.write(addr, &value, 4), TrapKind::kNone);
+  memory.inject_fault(addr, 1u << 7);
+
+  u32 got = 0;
+  EXPECT_EQ(memory.read(addr, &got, 4), TrapKind::kNone);
+  EXPECT_EQ(got, value);  // corrected
+  EXPECT_EQ(memory.counters().corrected_sbe, 1u);
+
+  // No scrubbing: the next read corrects (and counts) again.
+  EXPECT_EQ(memory.read(addr, &got, 4), TrapKind::kNone);
+  EXPECT_EQ(memory.counters().corrected_sbe, 2u);
+}
+
+TEST(Memory, DoubleBitFaultTrapsUnderEcc) {
+  GlobalMemory memory(kCap, ecc::EccMode::kSecded);
+  const u64 addr = memory.allocate(64).value();
+  memory.inject_fault(addr, 0b11);
+  u32 got = 0;
+  EXPECT_EQ(memory.read(addr, &got, 4), TrapKind::kEccDoubleBit);
+  EXPECT_EQ(memory.counters().detected_dbe, 1u);
+}
+
+TEST(Memory, EccOffReturnsCorruptedBits) {
+  GlobalMemory memory(kCap, ecc::EccMode::kDisabled);
+  const u64 addr = memory.allocate(64).value();
+  const u32 value = 0xF0F0F0F0;
+  ASSERT_EQ(memory.write(addr, &value, 4), TrapKind::kNone);
+  memory.inject_fault(addr, 0x0000000F);
+  u32 got = 0;
+  EXPECT_EQ(memory.read(addr, &got, 4), TrapKind::kNone);
+  EXPECT_EQ(got, value ^ 0x0000000Fu);
+  EXPECT_EQ(memory.counters().silent_corrupted, 1u);
+}
+
+TEST(Memory, CorruptionAppliesOnlyToOverlappingBytes) {
+  GlobalMemory memory(kCap, ecc::EccMode::kDisabled);
+  const u64 addr = memory.allocate(64).value();
+  const u64 value = 0x1111111122222222ULL;
+  ASSERT_EQ(memory.write(addr, &value, 8), TrapKind::kNone);
+  memory.inject_fault(addr + 4, 0xFF);  // second word, lowest byte
+
+  u8 byte = 0;
+  EXPECT_EQ(memory.read(addr + 4, &byte, 1), TrapKind::kNone);
+  EXPECT_EQ(byte, 0x11u ^ 0xFFu);
+  EXPECT_EQ(memory.read(addr + 5, &byte, 1), TrapKind::kNone);
+  EXPECT_EQ(byte, 0x11u);  // unaffected byte of the faulted word
+}
+
+TEST(Memory, FullWordOverwriteClearsFault) {
+  GlobalMemory memory(kCap, ecc::EccMode::kSecded);
+  const u64 addr = memory.allocate(64).value();
+  memory.inject_fault(addr, 0b11);
+  EXPECT_EQ(memory.fault_count(), 1u);
+  const u32 value = 7;
+  ASSERT_EQ(memory.write(addr, &value, 4), TrapKind::kNone);
+  EXPECT_EQ(memory.fault_count(), 0u);
+  u32 got = 0;
+  EXPECT_EQ(memory.read(addr, &got, 4), TrapKind::kNone);
+  EXPECT_EQ(got, 7u);
+}
+
+TEST(Memory, PartialWriteLeavesFault) {
+  GlobalMemory memory(kCap, ecc::EccMode::kSecded);
+  const u64 addr = memory.allocate(64).value();
+  memory.inject_fault(addr, 0b11);
+  const u8 byte = 1;
+  ASSERT_EQ(memory.write(addr, &byte, 1), TrapKind::kNone);
+  EXPECT_EQ(memory.fault_count(), 1u);  // word not fully re-encoded
+}
+
+TEST(Memory, InjectTwiceSameBitCancels) {
+  GlobalMemory memory(kCap, ecc::EccMode::kSecded);
+  const u64 addr = memory.allocate(64).value();
+  memory.inject_fault(addr, 1u << 3);
+  memory.inject_fault(addr, 1u << 3);
+  EXPECT_EQ(memory.fault_count(), 0u);
+}
+
+TEST(Memory, CopyToHostSurfacesDbe) {
+  GlobalMemory memory(kCap, ecc::EccMode::kSecded);
+  const u64 addr = memory.allocate(1024).value();
+  memory.inject_fault(addr + 512, 0b101);
+  std::vector<u8> host(1024);
+  EXPECT_EQ(memory.copy_to_host(host.data(), addr, host.size()),
+            TrapKind::kEccDoubleBit);
+}
+
+TEST(Memory, FillWrites) {
+  GlobalMemory memory(kCap, ecc::EccMode::kSecded);
+  const u64 addr = memory.allocate(256).value();
+  EXPECT_EQ(memory.fill(addr, 0xAB, 256), TrapKind::kNone);
+  std::vector<u8> host(256);
+  EXPECT_EQ(memory.copy_to_host(host.data(), addr, 256), TrapKind::kNone);
+  for (u8 byte : host) EXPECT_EQ(byte, 0xAB);
+}
+
+TEST(Memory, ResetClearsEverything) {
+  GlobalMemory memory(kCap, ecc::EccMode::kSecded);
+  const u64 addr = memory.allocate(64).value();
+  memory.inject_fault(addr, 1);
+  memory.reset();
+  EXPECT_EQ(memory.fault_count(), 0u);
+  EXPECT_EQ(memory.bytes_allocated(), 0u);
+  u32 word = 0;
+  EXPECT_EQ(memory.read(addr, &word, 4), TrapKind::kIllegalGlobalAddress);
+}
+
+}  // namespace
+}  // namespace gfi::sim

@@ -1,0 +1,64 @@
+// End-to-end smoke: every registered workload must run fault-free on every
+// machine preset and pass its own golden check bitwise.
+#include <gtest/gtest.h>
+
+#include "arch/arch.h"
+#include "sassim/device.h"
+#include "workloads/workload.h"
+
+namespace gfi {
+namespace {
+
+class WorkloadGolden
+    : public ::testing::TestWithParam<std::tuple<std::string, arch::GpuModel>> {
+};
+
+TEST_P(WorkloadGolden, RunsCleanAndMatchesReference) {
+  const auto& [name, model] = GetParam();
+  auto workload = wl::make_workload(name);
+  ASSERT_NE(workload, nullptr) << name;
+
+  sim::Device device(arch::config_for(model));
+  auto spec = workload->setup(device);
+  ASSERT_TRUE(spec.is_ok()) << spec.status().to_string();
+
+  auto launch = device.launch(workload->program(), spec.value().grid,
+                              spec.value().block, spec.value().params);
+  ASSERT_TRUE(launch.is_ok()) << launch.status().to_string();
+  ASSERT_TRUE(launch.value().ok()) << launch.value().trap.to_string();
+  EXPECT_GT(launch.value().dyn_warp_instrs, 0u);
+  EXPECT_GT(launch.value().cycles, 0u);
+
+  auto checked = workload->check(device);
+  ASSERT_TRUE(checked.is_ok()) << checked.status().to_string();
+  EXPECT_EQ(checked.value().trap, sim::TrapKind::kNone);
+  EXPECT_TRUE(checked.value().result.passed())
+      << name << " max rel err = " << checked.value().result.max_rel_err;
+  if (workload->tolerance() < 1e-3) {
+    // All references except the atomic-order-dependent ones (dotprod)
+    // replicate the device arithmetic bit-for-bit.
+    EXPECT_TRUE(checked.value().result.bitwise_equal)
+        << name << " max rel err = " << checked.value().result.max_rel_err;
+  }
+}
+
+std::vector<std::tuple<std::string, arch::GpuModel>> all_cases() {
+  std::vector<std::tuple<std::string, arch::GpuModel>> cases;
+  for (const auto& name : wl::workload_names()) {
+    for (arch::GpuModel model :
+         {arch::GpuModel::kToy, arch::GpuModel::kA100, arch::GpuModel::kH100}) {
+      cases.emplace_back(name, model);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadGolden, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<WorkloadGolden::ParamType>& info) {
+      return std::get<0>(info.param) + "_" +
+             arch::model_name(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace gfi

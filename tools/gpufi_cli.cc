@@ -1,0 +1,334 @@
+// gpufi — command-line front end for the fault-injection framework.
+//
+// Subcommands:
+//   gpufi list                              list built-in workloads
+//   gpufi disasm <workload>                 print a kernel's SASS-like listing
+//   gpufi golden <workload> [flags]         golden run: profile + timing
+//   gpufi campaign <workload> [flags]       run an injection campaign
+//   gpufi compare <workload> [flags]        A100-vs-H100 campaign + z-tests
+//   gpufi trace <workload> [flags]          trace the first instructions of
+//                                           a golden run + opcode histogram
+//
+// Flags (campaign/compare/golden):
+//   --arch=a100|h100|toy     machine model            (default a100)
+//   --mode=iov|ioa|pred|rf|mem                        (default iov)
+//   --flip=single|double|random|zero                  (default single)
+//   --group=<GROUP>          instruction-group filter (default: all eligible)
+//   --injections=<n>                                  (default 1000)
+//   --seed=<n>                                        (default 0x5eed)
+//   --bit=<n>                fix the flipped bit index
+//   --ecc=on|off             force RF+DRAM ECC
+//   --csv=<path>             also write the outcome table as CSV
+//   --records=<path>         dump one CSV row per injection record
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/compare.h"
+#include "analysis/report.h"
+#include "arch/arch.h"
+#include "common/table.h"
+#include "fi/campaign.h"
+#include "sassim/simulator.h"
+#include "sassim/tracer.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace gfi;
+
+struct Options {
+  std::string command;
+  std::string workload;
+  std::string arch = "a100";
+  std::string mode = "iov";
+  std::string flip = "single";
+  std::optional<std::string> group;
+  std::size_t injections = 1000;
+  u64 seed = 0x5eed;
+  std::optional<u32> bit;
+  std::optional<bool> ecc_on;
+  std::optional<std::string> csv;
+  std::optional<std::string> records;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gpufi <list|disasm|golden|campaign|compare> "
+               "[workload] [--flags]\n(see the header of tools/gpufi_cli.cc "
+               "for the flag reference)\n");
+  return 2;
+}
+
+bool parse_flag(const std::string& arg, const std::string& name,
+                std::string* out) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Options options;
+  options.command = argv[1];
+  int position = 2;
+  if (position < argc && argv[position][0] != '-') {
+    options.workload = argv[position++];
+  }
+  for (; position < argc; ++position) {
+    const std::string arg = argv[position];
+    std::string value;
+    if (parse_flag(arg, "arch", &options.arch)) continue;
+    if (parse_flag(arg, "mode", &options.mode)) continue;
+    if (parse_flag(arg, "flip", &options.flip)) continue;
+    if (parse_flag(arg, "group", &value)) {
+      options.group = value;
+      continue;
+    }
+    if (parse_flag(arg, "injections", &value)) {
+      options.injections = static_cast<std::size_t>(std::strtoull(
+          value.c_str(), nullptr, 10));
+      continue;
+    }
+    if (parse_flag(arg, "seed", &value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 0);
+      continue;
+    }
+    if (parse_flag(arg, "bit", &value)) {
+      options.bit = static_cast<u32>(std::strtoul(value.c_str(), nullptr, 10));
+      continue;
+    }
+    if (parse_flag(arg, "ecc", &value)) {
+      options.ecc_on = value == "on";
+      continue;
+    }
+    if (parse_flag(arg, "csv", &value)) {
+      options.csv = value;
+      continue;
+    }
+    if (parse_flag(arg, "records", &value)) {
+      options.records = value;
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+    return std::nullopt;
+  }
+  return options;
+}
+
+std::optional<sim::MachineConfig> machine_for(const Options& options) {
+  sim::MachineConfig config;
+  if (options.arch == "a100") config = arch::a100();
+  else if (options.arch == "h100") config = arch::h100();
+  else if (options.arch == "toy") config = arch::toy();
+  else {
+    std::fprintf(stderr, "unknown arch '%s'\n", options.arch.c_str());
+    return std::nullopt;
+  }
+  if (options.ecc_on) {
+    const auto mode =
+        *options.ecc_on ? ecc::EccMode::kSecded : ecc::EccMode::kDisabled;
+    config.rf_ecc = mode;
+    config.dram_ecc = mode;
+  }
+  return config;
+}
+
+std::optional<fi::InjectionMode> mode_for(const std::string& name) {
+  if (name == "iov") return fi::InjectionMode::kIov;
+  if (name == "ioa") return fi::InjectionMode::kIoa;
+  if (name == "pred") return fi::InjectionMode::kPred;
+  if (name == "rf") return fi::InjectionMode::kRf;
+  if (name == "mem") return fi::InjectionMode::kMemory;
+  std::fprintf(stderr, "unknown mode '%s'\n", name.c_str());
+  return std::nullopt;
+}
+
+std::optional<fi::BitFlipModel> flip_for(const std::string& name) {
+  if (name == "single") return fi::BitFlipModel::kSingle;
+  if (name == "double") return fi::BitFlipModel::kDouble;
+  if (name == "random") return fi::BitFlipModel::kRandomValue;
+  if (name == "zero") return fi::BitFlipModel::kZeroValue;
+  std::fprintf(stderr, "unknown flip model '%s'\n", name.c_str());
+  return std::nullopt;
+}
+
+std::optional<sim::InstrGroup> group_for(const std::string& name) {
+  for (int g = 0; g < sim::kInstrGroupCount; ++g) {
+    const auto group = static_cast<sim::InstrGroup>(g);
+    if (name == sim::group_name(group)) return group;
+  }
+  std::fprintf(stderr, "unknown group '%s' (use names from R-T2, e.g. FP32)\n",
+               name.c_str());
+  return std::nullopt;
+}
+
+std::optional<fi::CampaignConfig> campaign_config(const Options& options) {
+  auto machine = machine_for(options);
+  auto mode = mode_for(options.mode);
+  auto flip = flip_for(options.flip);
+  if (!machine || !mode || !flip) return std::nullopt;
+  fi::CampaignConfig config;
+  config.workload = options.workload;
+  config.machine = *machine;
+  config.model = {*mode, *flip};
+  config.num_injections = options.injections;
+  config.seed = options.seed;
+  config.fixed_bit = options.bit;
+  if (options.group) {
+    auto group = group_for(*options.group);
+    if (!group) return std::nullopt;
+    config.group = group;
+  }
+  return config;
+}
+
+int cmd_list() {
+  for (const std::string& name : wl::workload_names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+int cmd_disasm(const Options& options) {
+  auto workload = wl::make_workload(options.workload);
+  if (!workload) {
+    std::fprintf(stderr, "unknown workload '%s'\n", options.workload.c_str());
+    return 1;
+  }
+  std::printf("%s", workload->program().disassemble().c_str());
+  return 0;
+}
+
+int cmd_golden(const Options& options) {
+  auto config = campaign_config(options);
+  if (!config) return 2;
+  auto golden = fi::Campaign::golden_run(*config);
+  if (!golden.is_ok()) {
+    std::fprintf(stderr, "%s\n", golden.status().to_string().c_str());
+    return 1;
+  }
+  sim::LaunchResult timing;
+  timing.cycles = golden.value().cycles;
+  std::printf("%s on %s: %llu warp instrs, %llu cycles, %.2f us\n",
+              options.workload.c_str(), config->machine.name.c_str(),
+              static_cast<unsigned long long>(golden.value().dyn_instrs),
+              static_cast<unsigned long long>(golden.value().cycles),
+              timing.time_us(config->machine));
+  Table table("Dynamic instruction mix");
+  table.set_header(analysis::profile_header());
+  table.add_row(analysis::profile_row(options.workload,
+                                      golden.value().profile));
+  table.print();
+  return 0;
+}
+
+int cmd_campaign(const Options& options) {
+  auto config = campaign_config(options);
+  if (!config) return 2;
+  auto result = fi::Campaign::run(*config);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    return 1;
+  }
+  Table table("Campaign: " + options.workload + " on " +
+              config->machine.name + ", " +
+              std::string(fi::to_string(config->model.mode)) + "/" +
+              fi::to_string(config->model.flip));
+  table.set_header(analysis::outcome_header());
+  table.add_row(analysis::outcome_row(options.workload, result.value()));
+  table.print();
+  std::printf("uncorrected failure rate (SDC+DUE+Hang): %s\n",
+              Table::pct(analysis::uncorrected_failure_rate(result.value()))
+                  .c_str());
+  if (options.csv) (void)table.write_csv(*options.csv);
+  if (options.records) {
+    (void)analysis::write_records_csv(result.value(), *options.records);
+  }
+  return 0;
+}
+
+int cmd_compare(Options options) {
+  options.arch = "a100";
+  auto a_config = campaign_config(options);
+  options.arch = "h100";
+  auto h_config = campaign_config(options);
+  if (!a_config || !h_config) return 2;
+  auto a = fi::Campaign::run(*a_config);
+  auto h = fi::Campaign::run(*h_config);
+  if (!a.is_ok() || !h.is_ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!a.is_ok() ? a.status() : h.status()).to_string().c_str());
+    return 1;
+  }
+  Table table("A100 vs H100: " + options.workload);
+  auto header = analysis::outcome_header();
+  header[0] = "arch";
+  table.set_header(header);
+  table.add_row(analysis::outcome_row("A100", a.value()));
+  table.add_row(analysis::outcome_row("H100", h.value()));
+  table.print();
+
+  Table tests("Two-proportion z-tests (A100 vs H100)");
+  tests.set_header({"outcome", "A100", "H100", "z", "p-value", "verdict"});
+  for (fi::Outcome outcome :
+       {fi::Outcome::kSdc, fi::Outcome::kDue, fi::Outcome::kMasked}) {
+    const auto test =
+        analysis::compare_outcome(a.value(), h.value(), outcome);
+    tests.add_row({fi::to_string(outcome), Table::pct(test.p1),
+                   Table::pct(test.p2), Table::fmt(test.z, 2),
+                   Table::fmt(test.p_value, 4),
+                   test.significant() ? "DIFFERENT" : "within noise"});
+  }
+  tests.print();
+  return 0;
+}
+
+int cmd_trace(const Options& options) {
+  auto machine = machine_for(options);
+  if (!machine) return 2;
+  auto workload = wl::make_workload(options.workload);
+  if (!workload) {
+    std::fprintf(stderr, "unknown workload '%s'\n", options.workload.c_str());
+    return 1;
+  }
+  sim::Device device(*machine);
+  auto spec = workload->setup(device);
+  if (!spec.is_ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().to_string().c_str());
+    return 1;
+  }
+  sim::TracerHook tracer(/*max_entries=*/64);
+  sim::LaunchOptions launch_options;
+  launch_options.hooks.push_back(&tracer);
+  auto launch = device.launch(workload->program(), spec.value().grid,
+                              spec.value().block, spec.value().params,
+                              launch_options);
+  if (!launch.is_ok()) {
+    std::fprintf(stderr, "%s\n", launch.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", tracer.to_string().c_str());
+  std::printf("\n%llu dynamic warp instructions total\n",
+              static_cast<unsigned long long>(tracer.seen()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = parse(argc, argv);
+  if (!options) return usage();
+  if (options->command == "list") return cmd_list();
+  if (options->workload.empty()) return usage();
+  if (options->command == "disasm") return cmd_disasm(*options);
+  if (options->command == "golden") return cmd_golden(*options);
+  if (options->command == "campaign") return cmd_campaign(*options);
+  if (options->command == "compare") return cmd_compare(*options);
+  if (options->command == "trace") return cmd_trace(*options);
+  return usage();
+}
