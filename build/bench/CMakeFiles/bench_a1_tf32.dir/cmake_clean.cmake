@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_tf32.dir/bench_a1_tf32.cc.o"
+  "CMakeFiles/bench_a1_tf32.dir/bench_a1_tf32.cc.o.d"
+  "bench_a1_tf32"
+  "bench_a1_tf32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_tf32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_avf.dir/bench_a2_avf.cc.o"
+  "CMakeFiles/bench_a2_avf.dir/bench_a2_avf.cc.o.d"
+  "bench_a2_avf"
+  "bench_a2_avf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_swift.dir/bench_a3_swift.cc.o"
+  "CMakeFiles/bench_a3_swift.dir/bench_a3_swift.cc.o.d"
+  "bench_a3_swift"
+  "bench_a3_swift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_swift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

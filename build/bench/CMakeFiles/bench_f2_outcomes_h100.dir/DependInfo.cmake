@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f2_outcomes_h100.cc" "bench/CMakeFiles/bench_f2_outcomes_h100.dir/bench_f2_outcomes_h100.cc.o" "gcc" "bench/CMakeFiles/bench_f2_outcomes_h100.dir/bench_f2_outcomes_h100.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fi/CMakeFiles/gfi_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gfi_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gfi_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gfi_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/harden/CMakeFiles/gfi_harden.dir/DependInfo.cmake"
+  "/root/repo/build/src/sassim/CMakeFiles/gfi_sassim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/gfi_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gfi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

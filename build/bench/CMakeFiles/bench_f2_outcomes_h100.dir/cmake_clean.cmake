@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_outcomes_h100.dir/bench_f2_outcomes_h100.cc.o"
+  "CMakeFiles/bench_f2_outcomes_h100.dir/bench_f2_outcomes_h100.cc.o.d"
+  "bench_f2_outcomes_h100"
+  "bench_f2_outcomes_h100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_outcomes_h100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

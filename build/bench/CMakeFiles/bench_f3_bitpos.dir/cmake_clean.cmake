@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_bitpos.dir/bench_f3_bitpos.cc.o"
+  "CMakeFiles/bench_f3_bitpos.dir/bench_f3_bitpos.cc.o.d"
+  "bench_f3_bitpos"
+  "bench_f3_bitpos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_bitpos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_tensorcore.dir/bench_f5_tensorcore.cc.o"
+  "CMakeFiles/bench_f5_tensorcore.dir/bench_f5_tensorcore.cc.o.d"
+  "bench_f5_tensorcore"
+  "bench_f5_tensorcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_tensorcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_severity.dir/bench_f6_severity.cc.o"
+  "CMakeFiles/bench_f6_severity.dir/bench_f6_severity.cc.o.d"
+  "bench_f6_severity"
+  "bench_f6_severity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_severity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_latency.dir/bench_f8_latency.cc.o"
+  "CMakeFiles/bench_f8_latency.dir/bench_f8_latency.cc.o.d"
+  "bench_f8_latency"
+  "bench_f8_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_flipmodels.dir/bench_f9_flipmodels.cc.o"
+  "CMakeFiles/bench_f9_flipmodels.dir/bench_f9_flipmodels.cc.o.d"
+  "bench_f9_flipmodels"
+  "bench_f9_flipmodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_flipmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

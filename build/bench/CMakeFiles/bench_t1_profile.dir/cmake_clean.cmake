@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_profile.dir/bench_t1_profile.cc.o"
+  "CMakeFiles/bench_t1_profile.dir/bench_t1_profile.cc.o.d"
+  "bench_t1_profile"
+  "bench_t1_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

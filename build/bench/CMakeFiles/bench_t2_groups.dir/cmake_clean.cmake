@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_groups.dir/bench_t2_groups.cc.o"
+  "CMakeFiles/bench_t2_groups.dir/bench_t2_groups.cc.o.d"
+  "bench_t2_groups"
+  "bench_t2_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

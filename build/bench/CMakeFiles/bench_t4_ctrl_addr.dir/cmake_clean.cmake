@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_ctrl_addr.dir/bench_t4_ctrl_addr.cc.o"
+  "CMakeFiles/bench_t4_ctrl_addr.dir/bench_t4_ctrl_addr.cc.o.d"
+  "bench_t4_ctrl_addr"
+  "bench_t4_ctrl_addr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_ctrl_addr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_timing.dir/bench_t5_timing.cc.o"
+  "CMakeFiles/bench_t5_timing.dir/bench_t5_timing.cc.o.d"
+  "bench_t5_timing"
+  "bench_t5_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

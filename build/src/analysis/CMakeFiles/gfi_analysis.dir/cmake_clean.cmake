@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfi_analysis.dir/compare.cc.o"
+  "CMakeFiles/gfi_analysis.dir/compare.cc.o.d"
+  "CMakeFiles/gfi_analysis.dir/report.cc.o"
+  "CMakeFiles/gfi_analysis.dir/report.cc.o.d"
+  "libgfi_analysis.a"
+  "libgfi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfi_arch.dir/arch.cc.o"
+  "CMakeFiles/gfi_arch.dir/arch.cc.o.d"
+  "libgfi_arch.a"
+  "libgfi_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfi_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

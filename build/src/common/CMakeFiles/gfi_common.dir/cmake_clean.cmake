@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfi_common.dir/histogram.cc.o"
+  "CMakeFiles/gfi_common.dir/histogram.cc.o.d"
+  "CMakeFiles/gfi_common.dir/logging.cc.o"
+  "CMakeFiles/gfi_common.dir/logging.cc.o.d"
+  "CMakeFiles/gfi_common.dir/stats.cc.o"
+  "CMakeFiles/gfi_common.dir/stats.cc.o.d"
+  "CMakeFiles/gfi_common.dir/status.cc.o"
+  "CMakeFiles/gfi_common.dir/status.cc.o.d"
+  "CMakeFiles/gfi_common.dir/table.cc.o"
+  "CMakeFiles/gfi_common.dir/table.cc.o.d"
+  "CMakeFiles/gfi_common.dir/thread_pool.cc.o"
+  "CMakeFiles/gfi_common.dir/thread_pool.cc.o.d"
+  "libgfi_common.a"
+  "libgfi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfi_ecc.dir/protection.cc.o"
+  "CMakeFiles/gfi_ecc.dir/protection.cc.o.d"
+  "CMakeFiles/gfi_ecc.dir/secded.cc.o"
+  "CMakeFiles/gfi_ecc.dir/secded.cc.o.d"
+  "libgfi_ecc.a"
+  "libgfi_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfi_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

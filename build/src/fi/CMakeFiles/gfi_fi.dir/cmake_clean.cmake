@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfi_fi.dir/campaign.cc.o"
+  "CMakeFiles/gfi_fi.dir/campaign.cc.o.d"
+  "CMakeFiles/gfi_fi.dir/fault_model.cc.o"
+  "CMakeFiles/gfi_fi.dir/fault_model.cc.o.d"
+  "CMakeFiles/gfi_fi.dir/injector.cc.o"
+  "CMakeFiles/gfi_fi.dir/injector.cc.o.d"
+  "libgfi_fi.a"
+  "libgfi_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfi_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

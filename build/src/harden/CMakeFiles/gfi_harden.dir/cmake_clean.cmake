@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfi_harden.dir/swift.cc.o"
+  "CMakeFiles/gfi_harden.dir/swift.cc.o.d"
+  "libgfi_harden.a"
+  "libgfi_harden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfi_harden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

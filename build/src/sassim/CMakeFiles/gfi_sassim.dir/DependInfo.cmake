@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sassim/isa.cc" "src/sassim/CMakeFiles/gfi_sassim.dir/isa.cc.o" "gcc" "src/sassim/CMakeFiles/gfi_sassim.dir/isa.cc.o.d"
+  "/root/repo/src/sassim/kernel_builder.cc" "src/sassim/CMakeFiles/gfi_sassim.dir/kernel_builder.cc.o" "gcc" "src/sassim/CMakeFiles/gfi_sassim.dir/kernel_builder.cc.o.d"
+  "/root/repo/src/sassim/machine_config.cc" "src/sassim/CMakeFiles/gfi_sassim.dir/machine_config.cc.o" "gcc" "src/sassim/CMakeFiles/gfi_sassim.dir/machine_config.cc.o.d"
+  "/root/repo/src/sassim/memory.cc" "src/sassim/CMakeFiles/gfi_sassim.dir/memory.cc.o" "gcc" "src/sassim/CMakeFiles/gfi_sassim.dir/memory.cc.o.d"
+  "/root/repo/src/sassim/profiler.cc" "src/sassim/CMakeFiles/gfi_sassim.dir/profiler.cc.o" "gcc" "src/sassim/CMakeFiles/gfi_sassim.dir/profiler.cc.o.d"
+  "/root/repo/src/sassim/program.cc" "src/sassim/CMakeFiles/gfi_sassim.dir/program.cc.o" "gcc" "src/sassim/CMakeFiles/gfi_sassim.dir/program.cc.o.d"
+  "/root/repo/src/sassim/simulator.cc" "src/sassim/CMakeFiles/gfi_sassim.dir/simulator.cc.o" "gcc" "src/sassim/CMakeFiles/gfi_sassim.dir/simulator.cc.o.d"
+  "/root/repo/src/sassim/tracer.cc" "src/sassim/CMakeFiles/gfi_sassim.dir/tracer.cc.o" "gcc" "src/sassim/CMakeFiles/gfi_sassim.dir/tracer.cc.o.d"
+  "/root/repo/src/sassim/trap.cc" "src/sassim/CMakeFiles/gfi_sassim.dir/trap.cc.o" "gcc" "src/sassim/CMakeFiles/gfi_sassim.dir/trap.cc.o.d"
+  "/root/repo/src/sassim/warp.cc" "src/sassim/CMakeFiles/gfi_sassim.dir/warp.cc.o" "gcc" "src/sassim/CMakeFiles/gfi_sassim.dir/warp.cc.o.d"
+  "/root/repo/src/sassim/xid.cc" "src/sassim/CMakeFiles/gfi_sassim.dir/xid.cc.o" "gcc" "src/sassim/CMakeFiles/gfi_sassim.dir/xid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gfi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/gfi_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

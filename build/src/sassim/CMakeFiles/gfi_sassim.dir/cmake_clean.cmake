@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfi_sassim.dir/isa.cc.o"
+  "CMakeFiles/gfi_sassim.dir/isa.cc.o.d"
+  "CMakeFiles/gfi_sassim.dir/kernel_builder.cc.o"
+  "CMakeFiles/gfi_sassim.dir/kernel_builder.cc.o.d"
+  "CMakeFiles/gfi_sassim.dir/machine_config.cc.o"
+  "CMakeFiles/gfi_sassim.dir/machine_config.cc.o.d"
+  "CMakeFiles/gfi_sassim.dir/memory.cc.o"
+  "CMakeFiles/gfi_sassim.dir/memory.cc.o.d"
+  "CMakeFiles/gfi_sassim.dir/profiler.cc.o"
+  "CMakeFiles/gfi_sassim.dir/profiler.cc.o.d"
+  "CMakeFiles/gfi_sassim.dir/program.cc.o"
+  "CMakeFiles/gfi_sassim.dir/program.cc.o.d"
+  "CMakeFiles/gfi_sassim.dir/simulator.cc.o"
+  "CMakeFiles/gfi_sassim.dir/simulator.cc.o.d"
+  "CMakeFiles/gfi_sassim.dir/tracer.cc.o"
+  "CMakeFiles/gfi_sassim.dir/tracer.cc.o.d"
+  "CMakeFiles/gfi_sassim.dir/trap.cc.o"
+  "CMakeFiles/gfi_sassim.dir/trap.cc.o.d"
+  "CMakeFiles/gfi_sassim.dir/warp.cc.o"
+  "CMakeFiles/gfi_sassim.dir/warp.cc.o.d"
+  "CMakeFiles/gfi_sassim.dir/xid.cc.o"
+  "CMakeFiles/gfi_sassim.dir/xid.cc.o.d"
+  "libgfi_sassim.a"
+  "libgfi_sassim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfi_sassim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgfi_sassim.a"
+)

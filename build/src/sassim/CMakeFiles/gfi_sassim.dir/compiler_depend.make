@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gfi_sassim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/conv2d.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/conv2d.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/conv2d.cc.o.d"
+  "/root/repo/src/workloads/gemm.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/gemm.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/gemm.cc.o.d"
+  "/root/repo/src/workloads/gemm_hmma.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/gemm_hmma.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/gemm_hmma.cc.o.d"
+  "/root/repo/src/workloads/histogram.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/histogram.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/histogram.cc.o.d"
+  "/root/repo/src/workloads/layernorm.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/layernorm.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/layernorm.cc.o.d"
+  "/root/repo/src/workloads/mc_pi.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/mc_pi.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/mc_pi.cc.o.d"
+  "/root/repo/src/workloads/nbody.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/nbody.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/nbody.cc.o.d"
+  "/root/repo/src/workloads/pathfinder.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/pathfinder.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/pathfinder.cc.o.d"
+  "/root/repo/src/workloads/reduce.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/reduce.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/reduce.cc.o.d"
+  "/root/repo/src/workloads/scan.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/scan.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/scan.cc.o.d"
+  "/root/repo/src/workloads/softmax.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/softmax.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/softmax.cc.o.d"
+  "/root/repo/src/workloads/sort.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/sort.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/sort.cc.o.d"
+  "/root/repo/src/workloads/spmv.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/spmv.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/spmv.cc.o.d"
+  "/root/repo/src/workloads/stencil.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/stencil.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/stencil.cc.o.d"
+  "/root/repo/src/workloads/vecadd.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/vecadd.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/vecadd.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/gfi_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/gfi_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sassim/CMakeFiles/gfi_sassim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gfi_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/gfi_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gfi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

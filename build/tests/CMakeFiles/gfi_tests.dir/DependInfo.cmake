@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch_analysis.cc" "tests/CMakeFiles/gfi_tests.dir/test_arch_analysis.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_arch_analysis.cc.o.d"
+  "/root/repo/tests/test_campaign.cc" "tests/CMakeFiles/gfi_tests.dir/test_campaign.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_campaign.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/gfi_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_ecc.cc" "tests/CMakeFiles/gfi_tests.dir/test_ecc.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_ecc.cc.o.d"
+  "/root/repo/tests/test_exec_alu.cc" "tests/CMakeFiles/gfi_tests.dir/test_exec_alu.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_exec_alu.cc.o.d"
+  "/root/repo/tests/test_exec_edge.cc" "tests/CMakeFiles/gfi_tests.dir/test_exec_edge.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_exec_edge.cc.o.d"
+  "/root/repo/tests/test_exec_memory.cc" "tests/CMakeFiles/gfi_tests.dir/test_exec_memory.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_exec_memory.cc.o.d"
+  "/root/repo/tests/test_exec_simt.cc" "tests/CMakeFiles/gfi_tests.dir/test_exec_simt.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_exec_simt.cc.o.d"
+  "/root/repo/tests/test_harden.cc" "tests/CMakeFiles/gfi_tests.dir/test_harden.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_harden.cc.o.d"
+  "/root/repo/tests/test_injector.cc" "tests/CMakeFiles/gfi_tests.dir/test_injector.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_injector.cc.o.d"
+  "/root/repo/tests/test_isa_program.cc" "tests/CMakeFiles/gfi_tests.dir/test_isa_program.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_isa_program.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/gfi_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/gfi_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/gfi_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_tools.cc" "tests/CMakeFiles/gfi_tests.dir/test_tools.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_tools.cc.o.d"
+  "/root/repo/tests/test_workload_props.cc" "tests/CMakeFiles/gfi_tests.dir/test_workload_props.cc.o" "gcc" "tests/CMakeFiles/gfi_tests.dir/test_workload_props.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fi/CMakeFiles/gfi_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gfi_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/harden/CMakeFiles/gfi_harden.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gfi_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gfi_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sassim/CMakeFiles/gfi_sassim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/gfi_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gfi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

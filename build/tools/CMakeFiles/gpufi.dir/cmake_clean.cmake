@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpufi.dir/gpufi_cli.cc.o"
+  "CMakeFiles/gpufi.dir/gpufi_cli.cc.o.d"
+  "gpufi"
+  "gpufi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpufi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
