@@ -80,8 +80,10 @@ Status write_records_csv(const fi::CampaignResult& result,
                     "xid", "error_magnitude", "dyn_instrs"});
   for (std::size_t i = 0; i < result.records.size(); ++i) {
     const fi::InjectionRecord& record = result.records[i];
+    // Sharded results carry the global injection index of each record.
+    const u64 run = i < result.run_indices.size() ? result.run_indices[i] : i;
     table.add_row({
-        std::to_string(i),
+        std::to_string(run),
         fi::to_string(record.outcome),
         fi::to_string(record.site.model.mode),
         fi::to_string(record.site.model.flip),

@@ -27,12 +27,19 @@ class Rng {
 
   explicit Rng(u64 seed = 0x853c49e6748fea9bULL) { reseed(seed); }
 
-  /// Deterministically derives an independent stream for (seed, stream_id).
-  static Rng for_stream(u64 seed, u64 stream_id) {
+  /// Hashes (seed, stream_id) into the seed of an independent stream. This
+  /// is the seeding contract resumable/sharded campaigns rely on: stream i
+  /// depends only on (seed, i), never on which thread, shard, or process
+  /// draws it, so any injection can be replayed or re-partitioned bit-exactly.
+  static constexpr u64 stream_seed(u64 seed, u64 stream_id) {
     u64 mix = seed;
     (void)splitmix64(mix);
-    mix ^= 0x9e3779b97f4a7c15ULL * (stream_id + 1);
-    return Rng(mix);
+    return mix ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+  }
+
+  /// Deterministically derives an independent stream for (seed, stream_id).
+  static Rng for_stream(u64 seed, u64 stream_id) {
+    return Rng(stream_seed(seed, stream_id));
   }
 
   void reseed(u64 seed) {

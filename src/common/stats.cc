@@ -19,6 +19,22 @@ void RunningStats::add(f64 x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const f64 na = static_cast<f64>(count_);
+  const f64 nb = static_cast<f64>(other.count_);
+  const f64 delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 f64 RunningStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<f64>(count_ - 1);

@@ -14,6 +14,11 @@ class RunningStats {
  public:
   void add(f64 x);
 
+  /// Folds another accumulator in (Chan et al. parallel combination), as if
+  /// every sample of `other` had been add()ed here. Lets each campaign shard
+  /// keep its own accumulator and combine at merge time.
+  void merge(const RunningStats& other);
+
   [[nodiscard]] std::size_t count() const { return count_; }
   [[nodiscard]] f64 mean() const { return count_ ? mean_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.

@@ -1,11 +1,14 @@
 #include "fi/campaign.h"
 
 #include <algorithm>
-#include <mutex>
+#include <filesystem>
+#include <memory>
 
 #include "common/bitutil.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "fi/golden_cache.h"
+#include "fi/journal.h"
 #include "sassim/device.h"
 #include "workloads/workload.h"
 
@@ -14,8 +17,10 @@ namespace {
 
 /// Watchdog budget: generous multiple of the golden dynamic length so true
 /// hangs are caught without misclassifying slow-but-progressing runs.
-u64 watchdog_for(u64 golden_dyn_instrs) {
-  return golden_dyn_instrs * 3 + 10000;
+u64 watchdog_for(const CampaignConfig& config, u64 golden_dyn_instrs) {
+  if (config.watchdog_instrs) return *config.watchdog_instrs;
+  return golden_dyn_instrs * config.watchdog_multiplier +
+         config.watchdog_floor;
 }
 
 /// Samples the group to strike for instruction-targeted modes, weighted by
@@ -198,7 +203,7 @@ Result<InjectionRecord> Campaign::run_single(const CampaignConfig& config,
 
   InjectorHook injector(site.value(), device.config());
   sim::LaunchOptions options;
-  options.watchdog_instrs = watchdog_for(golden_dyn_instrs);
+  options.watchdog_instrs = watchdog_for(config, golden_dyn_instrs);
   if (config.model.mode == InjectionMode::kMemory) {
     inject_memory_fault(device, site.value(), rng);
     record.effect.activated = true;  // the upset is in place
@@ -258,7 +263,16 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
   if (config.num_injections == 0) {
     return Status::invalid_argument("num_injections must be > 0");
   }
-  auto golden = golden_run(config);
+  if (config.shard_count == 0) {
+    return Status::invalid_argument("shard_count must be > 0");
+  }
+  if (config.shard_index >= config.shard_count) {
+    return Status::invalid_argument(
+        "shard_index " + std::to_string(config.shard_index) +
+        " out of range for shard_count " +
+        std::to_string(config.shard_count));
+  }
+  auto golden = GoldenCache::instance().get_or_run(config);
   if (!golden.is_ok()) return golden.status();
 
   CampaignResult result;
@@ -266,17 +280,75 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
   result.profile = golden.value().profile;
   result.golden_dyn_instrs = golden.value().dyn_instrs;
   result.golden_cycles = golden.value().cycles;
-  result.records.resize(config.num_injections);
+  // This shard's strided slice of the global index space. Injection i
+  // depends only on (seed, i), so the partition is bit-exact.
+  for (u64 i = config.shard_index; i < config.num_injections;
+       i += config.shard_count) {
+    result.run_indices.push_back(i);
+  }
+  result.records.resize(result.run_indices.size());
 
-  std::vector<Status> errors(config.num_injections);
-  ThreadPool pool(config.threads);
-  pool.parallel_for(config.num_injections, [&](std::size_t i) {
-    auto record = run_single(config, result.profile,
-                             result.golden_dyn_instrs, i);
-    if (record.is_ok()) {
-      result.records[i] = std::move(record).take();
+  // Journal: restore completed injections, then append the rest.
+  std::vector<u8> done(result.run_indices.size(), 0);
+  std::unique_ptr<JournalWriter> writer;
+  if (config.journal_path) {
+    const std::string& path = *config.journal_path;
+    std::error_code ec;
+    const bool exists = std::filesystem::exists(path, ec) &&
+                        std::filesystem::file_size(path, ec) > 0;
+    Result<JournalContents> loaded =
+        exists ? Journal::load(path)
+               : Status::not_found("no journal at " + path);
+    if (exists && !loaded.is_ok() &&
+        loaded.status().code() != StatusCode::kFailedPrecondition) {
+      return loaded.status();  // kFailedPrecondition = torn header: recreate
+    }
+    if (loaded.is_ok()) {
+      auto compatible =
+          check_journal_compatible(loaded.value().header, config,
+                                   golden.value());
+      if (!compatible.is_ok()) return compatible;
+      for (const auto& [index, record] : loaded.value().records) {
+        if (index >= config.num_injections ||
+            index % config.shard_count != config.shard_index) {
+          return Status::internal(
+              "journal " + path + " contains record " +
+              std::to_string(index) + " outside this shard");
+        }
+        const std::size_t slot =
+            (index - config.shard_index) / config.shard_count;
+        if (done[slot]) continue;  // duplicate append; first one wins
+        done[slot] = 1;
+        result.records[slot] = record;
+        ++result.resumed;
+      }
+      auto opened = JournalWriter::open_append(path,
+                                               loaded.value().valid_bytes);
+      if (!opened.is_ok()) return opened.status();
+      writer = std::move(opened).take();
     } else {
-      errors[i] = record.status();
+      auto created = JournalWriter::create(
+          path, make_journal_header(config, golden.value()));
+      if (!created.is_ok()) return created.status();
+      writer = std::move(created).take();
+    }
+  }
+
+  std::vector<Status> errors(result.run_indices.size());
+  ThreadPool pool(config.threads);
+  pool.parallel_for(result.run_indices.size(), [&](std::size_t slot) {
+    if (done[slot]) return;
+    auto record = run_single(config, result.profile,
+                             result.golden_dyn_instrs,
+                             result.run_indices[slot]);
+    if (record.is_ok()) {
+      result.records[slot] = std::move(record).take();
+      if (writer) {
+        errors[slot] =
+            writer->append(result.run_indices[slot], result.records[slot]);
+      }
+    } else {
+      errors[slot] = record.status();
     }
   });
   for (const Status& status : errors) {

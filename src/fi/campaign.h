@@ -5,6 +5,10 @@
 //             device, fanned out over a host thread pool; every run strikes
 //             exactly one fault at a uniformly sampled eligible site and is
 //             classified against the golden outcome.
+//
+// Injection i depends only on (config.seed, i), which makes runs resumable
+// (fi/journal.h), shardable (CampaignConfig::shard_*), and replayable
+// (run_single). Phase 1 results are memoized in fi/golden_cache.h.
 #pragma once
 
 #include <array>
@@ -49,6 +53,28 @@ struct CampaignConfig {
   /// Fixes the flipped bit index for all runs (bit-sensitivity sweeps);
   /// nullopt = uniform random bit per run.
   std::optional<u32> fixed_bit;
+
+  // --- scale-out ---------------------------------------------------------
+  /// Shard `shard_index` of `shard_count` runs the global injection indices
+  /// i with i % shard_count == shard_index. Every injection derives its RNG
+  /// stream from (seed, global index), so N shards partition the same
+  /// campaign bit-exactly and merge_journals() recombines them.
+  u32 shard_index = 0;
+  u32 shard_count = 1;
+  /// JSONL journal path: every completed injection is appended and flushed;
+  /// if the file already exists (and matches this campaign) journaled
+  /// injections are skipped — crash/kill + rerun resumes where it stopped.
+  std::optional<std::string> journal_path;
+
+  // --- per-injection watchdog --------------------------------------------
+  /// A faulty run is aborted as kHang after
+  ///   golden_dyn_instrs * watchdog_multiplier + watchdog_floor
+  /// dynamic warp instructions: generous enough that slow-but-progressing
+  /// runs finish, tight enough that one hung injection cannot wedge a shard.
+  u64 watchdog_multiplier = 3;
+  u64 watchdog_floor = 10000;
+  /// Absolute override of the budget (tests / pathological kernels).
+  std::optional<u64> watchdog_instrs;
 };
 
 struct InjectionRecord {
@@ -66,6 +92,11 @@ struct CampaignResult {
   u64 golden_dyn_instrs = 0;
   u64 golden_cycles = 0;
   std::vector<InjectionRecord> records;
+  /// Global injection index of records[k] (0..n-1 unsharded; the shard's
+  /// strided subsequence otherwise).
+  std::vector<u64> run_indices;
+  /// How many of `records` were restored from the journal instead of run.
+  std::size_t resumed = 0;
   std::array<u64, kOutcomeCount> outcome_counts{};
 
   [[nodiscard]] u64 count(Outcome outcome) const {
@@ -83,7 +114,8 @@ class Campaign {
   static Result<CampaignResult> run(const CampaignConfig& config);
 
   /// Replays a single injection (used by tests and for debugging): returns
-  /// the record produced for run index `i` of `config`.
+  /// the record produced for global run index `i` of `config`. Sharding
+  /// never changes what a given index produces.
   static Result<InjectionRecord> run_single(const CampaignConfig& config,
                                             const sim::Profile& profile,
                                             u64 golden_dyn_instrs,

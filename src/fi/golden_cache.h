@@ -1,0 +1,53 @@
+// Golden-run cache: memoizes the phase-1 fault-free reference keyed by
+// (workload, arch, machine parameters), so resuming a journaled campaign,
+// running N shards in one process, or comparing architectures never
+// recomputes the same golden run. An optional directory-backed layer shares
+// goldens across processes (each shard of a CI matrix job hits the same
+// cache file instead of re-profiling).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "fi/campaign.h"
+
+namespace gfi::fi {
+
+class GoldenCache {
+ public:
+  /// Process-wide instance used by Campaign::run.
+  static GoldenCache& instance();
+
+  /// Returns the golden run for `config`, computing and caching it on miss.
+  /// Lookups key on the workload plus every MachineConfig field that can
+  /// influence execution, so e.g. toy-with-ECC and toy-without-ECC never
+  /// alias.
+  Result<Campaign::Golden> get_or_run(const CampaignConfig& config);
+
+  /// Enables ("" disables) the on-disk layer: goldens are stored as
+  /// single-line JSON files under `dir` (created on demand).
+  void set_directory(std::string dir);
+
+  /// Drops the in-memory layer (tests; the disk layer is left alone).
+  void clear();
+
+  // Observability for tests and the CLI.
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+
+  /// The cache key for `config` (exposed for tests).
+  static std::string key_for(const CampaignConfig& config);
+
+ private:
+  GoldenCache() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Campaign::Golden> entries_;
+  std::string directory_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace gfi::fi

@@ -1,0 +1,680 @@
+#include "fi/journal.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace gfi::fi {
+namespace {
+
+// ------------------------------------------------------------- writing ---
+
+void append_key(std::string& out, const char* key) {
+  if (out.back() != '{') out += ',';
+  out += '"';
+  out += key;
+  out += "\":";
+}
+
+void append_u64(std::string& out, const char* key, u64 value) {
+  append_key(out, key);
+  out += std::to_string(value);
+}
+
+void append_f64(std::string& out, const char* key, f64 value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  append_key(out, key);
+  out += buffer;
+}
+
+void append_str(std::string& out, const char* key, const std::string& value) {
+  append_key(out, key);
+  out += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+template <std::size_t N>
+void append_array(std::string& out, const char* key,
+                  const std::array<u64, N>& values) {
+  append_key(out, key);
+  out += '[';
+  for (std::size_t i = 0; i < N; ++i) {
+    if (i) out += ',';
+    out += std::to_string(values[i]);
+  }
+  out += ']';
+}
+
+// ------------------------------------------------------------- parsing ---
+
+// Minimal scanner for the flat one-line JSON this journal writes: string,
+// number, and unsigned-array values only, no nesting.
+struct Fields {
+  std::map<std::string, std::string> scalars;  ///< raw text, strings unquoted
+  std::map<std::string, std::vector<u64>> arrays;
+};
+
+bool skip_ws(const std::string& s, std::size_t& pos) {
+  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+    ++pos;
+  }
+  return pos < s.size();
+}
+
+bool parse_quoted(const std::string& s, std::size_t& pos, std::string* out) {
+  if (pos >= s.size() || s[pos] != '"') return false;
+  ++pos;
+  out->clear();
+  while (pos < s.size() && s[pos] != '"') {
+    if (s[pos] == '\\') {
+      if (++pos >= s.size()) return false;
+    }
+    *out += s[pos++];
+  }
+  if (pos >= s.size()) return false;
+  ++pos;  // closing quote
+  return true;
+}
+
+bool parse_fields(const std::string& line, Fields* out) {
+  std::size_t pos = 0;
+  if (!skip_ws(line, pos) || line[pos] != '{') return false;
+  ++pos;
+  if (!skip_ws(line, pos)) return false;
+  if (line[pos] == '}') return true;  // empty object
+  while (true) {
+    std::string key;
+    if (!skip_ws(line, pos) || !parse_quoted(line, pos, &key)) return false;
+    if (!skip_ws(line, pos) || line[pos] != ':') return false;
+    ++pos;
+    if (!skip_ws(line, pos)) return false;
+    if (line[pos] == '"') {
+      std::string value;
+      if (!parse_quoted(line, pos, &value)) return false;
+      out->scalars[key] = value;
+    } else if (line[pos] == '[') {
+      ++pos;
+      std::vector<u64> values;
+      if (!skip_ws(line, pos)) return false;
+      while (line[pos] != ']') {
+        char* end = nullptr;
+        values.push_back(std::strtoull(line.c_str() + pos, &end, 10));
+        if (end == line.c_str() + pos) return false;
+        pos = static_cast<std::size_t>(end - line.c_str());
+        if (!skip_ws(line, pos)) return false;
+        if (line[pos] == ',') {
+          ++pos;
+          if (!skip_ws(line, pos)) return false;
+        }
+      }
+      ++pos;  // ']'
+      out->arrays[key] = std::move(values);
+    } else {
+      const std::size_t start = pos;
+      while (pos < line.size() && line[pos] != ',' && line[pos] != '}') ++pos;
+      if (pos >= line.size()) return false;
+      std::size_t end = pos;
+      while (end > start &&
+             std::isspace(static_cast<unsigned char>(line[end - 1]))) {
+        --end;
+      }
+      out->scalars[key] = line.substr(start, end - start);
+    }
+    if (!skip_ws(line, pos)) return false;
+    if (line[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (line[pos] == '}') return true;
+    return false;
+  }
+}
+
+std::optional<u64> get_u64(const Fields& fields, const char* key) {
+  auto it = fields.scalars.find(key);
+  if (it == fields.scalars.end()) return std::nullopt;
+  char* end = nullptr;
+  const u64 value = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str()) return std::nullopt;
+  return value;
+}
+
+std::optional<f64> get_f64(const Fields& fields, const char* key) {
+  auto it = fields.scalars.find(key);
+  if (it == fields.scalars.end()) return std::nullopt;
+  char* end = nullptr;
+  const f64 value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::string> get_str(const Fields& fields, const char* key) {
+  auto it = fields.scalars.find(key);
+  if (it == fields.scalars.end()) return std::nullopt;
+  return it->second;
+}
+
+// ------------------------------------------------------ name -> enum -----
+
+std::optional<Outcome> outcome_from_name(const std::string& name) {
+  for (int o = 0; o < kOutcomeCount; ++o) {
+    const auto outcome = static_cast<Outcome>(o);
+    if (name == to_string(outcome)) return outcome;
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::TrapKind> trap_from_name(const std::string& name) {
+  for (int k = 0; k <= static_cast<int>(sim::TrapKind::kBarrierDivergence);
+       ++k) {
+    const auto kind = static_cast<sim::TrapKind>(k);
+    if (name == sim::trap_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::Opcode> opcode_from_name(const std::string& name) {
+  for (int op = 0; op < sim::kOpcodeCount; ++op) {
+    const auto opcode = static_cast<sim::Opcode>(op);
+    if (name == sim::opcode_name(opcode)) return opcode;
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::InstrGroup> group_from_name(const std::string& name) {
+  for (int g = 0; g < sim::kInstrGroupCount; ++g) {
+    const auto group = static_cast<sim::InstrGroup>(g);
+    if (name == sim::group_name(group)) return group;
+  }
+  return std::nullopt;
+}
+
+std::optional<InjectionMode> mode_from_name(const std::string& name) {
+  for (int m = static_cast<int>(InjectionMode::kIov);
+       m <= static_cast<int>(InjectionMode::kMemory); ++m) {
+    const auto mode = static_cast<InjectionMode>(m);
+    if (name == to_string(mode)) return mode;
+  }
+  return std::nullopt;
+}
+
+std::optional<BitFlipModel> flip_from_name(const std::string& name) {
+  for (int f = static_cast<int>(BitFlipModel::kSingle);
+       f <= static_cast<int>(BitFlipModel::kZeroValue); ++f) {
+    const auto flip = static_cast<BitFlipModel>(f);
+    if (name == to_string(flip)) return flip;
+  }
+  return std::nullopt;
+}
+
+template <std::size_t N>
+bool copy_array(const Fields& fields, const char* key,
+                std::array<u64, N>* out) {
+  auto it = fields.arrays.find(key);
+  if (it == fields.arrays.end() || it->second.size() != N) return false;
+  std::copy(it->second.begin(), it->second.end(), out->begin());
+  return true;
+}
+
+constexpr const char* kMagic = "gpufi-journal-v1";
+
+Status bad_header(const std::string& why) {
+  return Status::invalid_argument("journal header: " + why);
+}
+
+}  // namespace
+
+JournalHeader make_journal_header(const CampaignConfig& config,
+                                  const Campaign::Golden& golden) {
+  JournalHeader header;
+  header.workload = config.workload;
+  header.arch = config.machine.name;
+  header.mode = to_string(config.model.mode);
+  header.flip = to_string(config.model.flip);
+  if (config.group) header.group = sim::group_name(*config.group);
+  header.fixed_bit = config.fixed_bit;
+  header.seed = config.seed;
+  header.num_injections = config.num_injections;
+  header.shard_index = config.shard_index;
+  header.shard_count = config.shard_count;
+  header.golden_dyn_instrs = golden.dyn_instrs;
+  header.golden_cycles = golden.cycles;
+  header.profile = golden.profile;
+  return header;
+}
+
+Status check_journal_compatible(const JournalHeader& header,
+                                const CampaignConfig& config,
+                                const Campaign::Golden& golden) {
+  const JournalHeader want = make_journal_header(config, golden);
+  auto mismatch = [](const char* what, const std::string& got,
+                     const std::string& expected) {
+    return Status::failed_precondition(
+        std::string("journal was written by a different campaign: ") + what +
+        " is '" + got + "', campaign has '" + expected + "'");
+  };
+  if (header.workload != want.workload) {
+    return mismatch("workload", header.workload, want.workload);
+  }
+  if (header.arch != want.arch) return mismatch("arch", header.arch, want.arch);
+  if (header.mode != want.mode) return mismatch("mode", header.mode, want.mode);
+  if (header.flip != want.flip) return mismatch("flip", header.flip, want.flip);
+  if (header.group != want.group) {
+    return mismatch("group", header.group.value_or("<all>"),
+                    want.group.value_or("<all>"));
+  }
+  if (header.fixed_bit != want.fixed_bit) {
+    return mismatch("fixed bit",
+                    header.fixed_bit ? std::to_string(*header.fixed_bit)
+                                     : "<random>",
+                    want.fixed_bit ? std::to_string(*want.fixed_bit)
+                                   : "<random>");
+  }
+  if (header.seed != want.seed) {
+    return mismatch("seed", std::to_string(header.seed),
+                    std::to_string(want.seed));
+  }
+  if (header.num_injections != want.num_injections) {
+    return mismatch("num_injections", std::to_string(header.num_injections),
+                    std::to_string(want.num_injections));
+  }
+  if (header.shard_index != want.shard_index ||
+      header.shard_count != want.shard_count) {
+    return mismatch("shard",
+                    std::to_string(header.shard_index) + "/" +
+                        std::to_string(header.shard_count),
+                    std::to_string(want.shard_index) + "/" +
+                        std::to_string(want.shard_count));
+  }
+  if (header.golden_dyn_instrs != want.golden_dyn_instrs ||
+      header.golden_cycles != want.golden_cycles) {
+    return Status::failed_precondition(
+        "journal golden run disagrees with this build's golden run "
+        "(simulator or workload changed since the journal was written)");
+  }
+  return Status::ok();
+}
+
+std::string Journal::header_line(const JournalHeader& header) {
+  std::string out = "{";
+  append_str(out, "journal", kMagic);
+  append_str(out, "workload", header.workload);
+  append_str(out, "arch", header.arch);
+  append_str(out, "mode", header.mode);
+  append_str(out, "flip", header.flip);
+  if (header.group) append_str(out, "group", *header.group);
+  if (header.fixed_bit) append_u64(out, "fixed_bit", *header.fixed_bit);
+  append_u64(out, "seed", header.seed);
+  append_u64(out, "num_injections", header.num_injections);
+  append_u64(out, "shard_index", header.shard_index);
+  append_u64(out, "shard_count", header.shard_count);
+  append_u64(out, "golden_dyn", header.golden_dyn_instrs);
+  append_u64(out, "golden_cycles", header.golden_cycles);
+  append_u64(out, "profile_warp_total", header.profile.total_warp_instrs);
+  append_u64(out, "profile_thread_total", header.profile.total_thread_instrs);
+  append_array(out, "profile_op", header.profile.warp_instrs_by_opcode);
+  append_array(out, "profile_warp", header.profile.warp_instrs_by_group);
+  append_array(out, "profile_thread", header.profile.thread_instrs_by_group);
+  out += '}';
+  return out;
+}
+
+Result<JournalHeader> Journal::parse_header(const std::string& line) {
+  Fields fields;
+  if (!parse_fields(line, &fields)) return bad_header("not a JSON object");
+  if (get_str(fields, "journal").value_or("") != kMagic) {
+    return bad_header("missing or wrong magic (expected " +
+                      std::string(kMagic) + ")");
+  }
+  JournalHeader header;
+  auto workload = get_str(fields, "workload");
+  auto arch = get_str(fields, "arch");
+  auto mode = get_str(fields, "mode");
+  auto flip = get_str(fields, "flip");
+  auto seed = get_u64(fields, "seed");
+  auto num = get_u64(fields, "num_injections");
+  auto shard_index = get_u64(fields, "shard_index");
+  auto shard_count = get_u64(fields, "shard_count");
+  auto golden_dyn = get_u64(fields, "golden_dyn");
+  auto golden_cycles = get_u64(fields, "golden_cycles");
+  auto warp_total = get_u64(fields, "profile_warp_total");
+  auto thread_total = get_u64(fields, "profile_thread_total");
+  if (!workload || !arch || !mode || !flip || !seed || !num || !shard_index ||
+      !shard_count || !golden_dyn || !golden_cycles || !warp_total ||
+      !thread_total) {
+    return bad_header("missing required field");
+  }
+  if (!mode_from_name(*mode)) return bad_header("unknown mode '" + *mode + "'");
+  if (!flip_from_name(*flip)) return bad_header("unknown flip '" + *flip + "'");
+  header.workload = *workload;
+  header.arch = *arch;
+  header.mode = *mode;
+  header.flip = *flip;
+  header.group = get_str(fields, "group");
+  if (header.group && !group_from_name(*header.group)) {
+    return bad_header("unknown group '" + *header.group + "'");
+  }
+  if (auto bit = get_u64(fields, "fixed_bit")) {
+    header.fixed_bit = static_cast<u32>(*bit);
+  }
+  header.seed = *seed;
+  header.num_injections = *num;
+  header.shard_index = static_cast<u32>(*shard_index);
+  header.shard_count = static_cast<u32>(*shard_count);
+  header.golden_dyn_instrs = *golden_dyn;
+  header.golden_cycles = *golden_cycles;
+  header.profile.total_warp_instrs = *warp_total;
+  header.profile.total_thread_instrs = *thread_total;
+  if (!copy_array(fields, "profile_op",
+                  &header.profile.warp_instrs_by_opcode) ||
+      !copy_array(fields, "profile_warp",
+                  &header.profile.warp_instrs_by_group) ||
+      !copy_array(fields, "profile_thread",
+                  &header.profile.thread_instrs_by_group)) {
+    return bad_header("bad or missing profile arrays");
+  }
+  return header;
+}
+
+std::string Journal::record_line(u64 index, const InjectionRecord& record) {
+  std::string out = "{";
+  append_u64(out, "i", index);
+  append_str(out, "outcome", to_string(record.outcome));
+  append_str(out, "trap", sim::trap_kind_name(record.trap));
+  append_f64(out, "err", record.error_magnitude);
+  append_u64(out, "dyn", record.dyn_instrs);
+  if (record.site.group) {
+    append_str(out, "group", sim::group_name(*record.site.group));
+  }
+  append_u64(out, "occ", record.site.target_occurrence);
+  append_u64(out, "lane", record.site.lane_sel);
+  append_u64(out, "bit", record.site.bit_sel);
+  append_u64(out, "bit2", record.site.bit_sel2);
+  append_u64(out, "reg", record.site.reg_sel);
+  append_u64(out, "rand", record.site.random_value);
+  append_u64(out, "act", record.effect.activated ? 1 : 0);
+  append_u64(out, "ecc", record.effect.corrected_by_ecc ? 1 : 0);
+  append_u64(out, "sdyn", record.effect.struck_dyn_index);
+  append_str(out, "sop", sim::opcode_name(record.effect.struck_opcode));
+  append_str(out, "sgrp", sim::group_name(record.effect.struck_group));
+  append_u64(out, "slane", record.effect.struck_lane);
+  out += '}';
+  return out;
+}
+
+Result<std::pair<u64, InjectionRecord>> Journal::parse_record(
+    const std::string& line) {
+  Fields fields;
+  if (!parse_fields(line, &fields)) {
+    return Status::invalid_argument("journal record: not a JSON object");
+  }
+  auto index = get_u64(fields, "i");
+  auto outcome = get_str(fields, "outcome");
+  auto trap = get_str(fields, "trap");
+  auto err = get_f64(fields, "err");
+  auto dyn = get_u64(fields, "dyn");
+  auto occ = get_u64(fields, "occ");
+  auto lane = get_u64(fields, "lane");
+  auto bit = get_u64(fields, "bit");
+  auto bit2 = get_u64(fields, "bit2");
+  auto reg = get_u64(fields, "reg");
+  auto rand = get_u64(fields, "rand");
+  auto act = get_u64(fields, "act");
+  auto ecc = get_u64(fields, "ecc");
+  auto sdyn = get_u64(fields, "sdyn");
+  auto sop = get_str(fields, "sop");
+  auto sgrp = get_str(fields, "sgrp");
+  auto slane = get_u64(fields, "slane");
+  if (!index || !outcome || !trap || !err || !dyn || !occ || !lane || !bit ||
+      !bit2 || !reg || !rand || !act || !ecc || !sdyn || !sop || !sgrp ||
+      !slane) {
+    return Status::invalid_argument("journal record: missing required field");
+  }
+  InjectionRecord record;
+  auto outcome_value = outcome_from_name(*outcome);
+  auto trap_value = trap_from_name(*trap);
+  auto sop_value = opcode_from_name(*sop);
+  auto sgrp_value = group_from_name(*sgrp);
+  if (!outcome_value || !trap_value || !sop_value || !sgrp_value) {
+    return Status::invalid_argument("journal record: unknown enum name");
+  }
+  record.outcome = *outcome_value;
+  record.trap = *trap_value;
+  record.error_magnitude = *err;
+  record.dyn_instrs = *dyn;
+  if (auto group = get_str(fields, "group")) {
+    auto group_value = group_from_name(*group);
+    if (!group_value) {
+      return Status::invalid_argument("journal record: unknown group '" +
+                                      *group + "'");
+    }
+    record.site.group = *group_value;
+  }
+  record.site.target_occurrence = *occ;
+  record.site.lane_sel = static_cast<u32>(*lane);
+  record.site.bit_sel = static_cast<u32>(*bit);
+  record.site.bit_sel2 = static_cast<u32>(*bit2);
+  record.site.reg_sel = static_cast<u16>(*reg);
+  record.site.random_value = *rand;
+  record.effect.activated = *act != 0;
+  record.effect.corrected_by_ecc = *ecc != 0;
+  record.effect.struck_dyn_index = *sdyn;
+  record.effect.struck_opcode = *sop_value;
+  record.effect.struck_group = *sgrp_value;
+  record.effect.struck_lane = static_cast<u32>(*slane);
+  return std::make_pair(*index, record);
+}
+
+Result<JournalContents> Journal::load(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::not_found("cannot open journal " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string data = buffer.str();
+
+  JournalContents contents;
+  std::size_t pos = 0;
+  bool have_header = false;
+  while (pos < data.size()) {
+    const std::size_t newline = data.find('\n', pos);
+    if (newline == std::string::npos) break;  // torn trailing record: drop
+    const std::string line = data.substr(pos, newline - pos);
+    if (!line.empty()) {
+      if (!have_header) {
+        auto header = parse_header(line);
+        if (!header.is_ok()) return header.status();
+        contents.header = std::move(header).take();
+        have_header = true;
+      } else {
+        auto record = parse_record(line);
+        if (!record.is_ok()) {
+          // A malformed line is only tolerable as the file's torn tail.
+          if (data.find('\n', newline + 1) == std::string::npos &&
+              newline + 1 >= data.size()) {
+            break;
+          }
+          return Status::internal("journal " + path + " is corrupt: " +
+                                  record.status().message());
+        }
+        const FaultModel model{*mode_from_name(contents.header.mode),
+                               *flip_from_name(contents.header.flip)};
+        auto [index, parsed] = std::move(record).take();
+        parsed.site.model = model;
+        contents.records.emplace_back(index, parsed);
+      }
+    }
+    pos = newline + 1;
+    contents.valid_bytes = pos;
+  }
+  if (!have_header) {
+    // Distinct code: the writer died before the header line hit the disk, so
+    // the file holds no data — callers may safely recreate it.
+    return Status::failed_precondition("journal " + path +
+                                       " has no complete header line");
+  }
+  return contents;
+}
+
+JournalWriter::~JournalWriter() {
+  if (file_) std::fclose(file_);
+}
+
+Result<std::unique_ptr<JournalWriter>> JournalWriter::create(
+    const std::string& path, const JournalHeader& header) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (!file) {
+    return Status::internal("cannot create journal " + path + ": " +
+                            std::strerror(errno));
+  }
+  const std::string line = Journal::header_line(header) + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file) != line.size() ||
+      std::fflush(file) != 0) {
+    std::fclose(file);
+    return Status::internal("cannot write journal header to " + path);
+  }
+  return std::unique_ptr<JournalWriter>(new JournalWriter(file));
+}
+
+Result<std::unique_ptr<JournalWriter>> JournalWriter::open_append(
+    const std::string& path, u64 valid_bytes) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, valid_bytes, ec);
+  if (ec) {
+    return Status::internal("cannot truncate journal " + path + ": " +
+                            ec.message());
+  }
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (!file) {
+    return Status::internal("cannot open journal " + path + ": " +
+                            std::strerror(errno));
+  }
+  return std::unique_ptr<JournalWriter>(new JournalWriter(file));
+}
+
+Status JournalWriter::append(u64 index, const InjectionRecord& record) {
+  const std::string line = Journal::record_line(index, record) + "\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    return Status::internal("journal append failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  return Status::ok();
+}
+
+Result<MergedCampaign> merge_journals(const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    return Status::invalid_argument("merge_journals: no journals given");
+  }
+  MergedCampaign merged;
+  std::vector<bool> covered;
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    auto loaded = Journal::load(paths[p]);
+    if (!loaded.is_ok()) return loaded.status();
+    const JournalContents& contents = loaded.value();
+    if (p == 0) {
+      merged.header = contents.header;
+      merged.header.shard_index = 0;
+      merged.header.shard_count = 1;
+      merged.records.resize(merged.header.num_injections);
+      covered.assign(merged.header.num_injections, false);
+    } else {
+      const JournalHeader& h = contents.header;
+      const JournalHeader& m = merged.header;
+      if (h.workload != m.workload || h.arch != m.arch || h.mode != m.mode ||
+          h.flip != m.flip || h.group != m.group ||
+          h.fixed_bit != m.fixed_bit || h.seed != m.seed ||
+          h.num_injections != m.num_injections ||
+          h.golden_dyn_instrs != m.golden_dyn_instrs) {
+        return Status::failed_precondition(
+            "journal " + paths[p] +
+            " belongs to a different campaign than " + paths[0]);
+      }
+    }
+    for (const auto& [index, record] : contents.records) {
+      if (index >= merged.header.num_injections) {
+        return Status::internal("journal " + paths[p] + " has record index " +
+                                std::to_string(index) + " out of range");
+      }
+      if (covered[index]) {
+        return Status::internal("journals overlap at record index " +
+                                std::to_string(index));
+      }
+      covered[index] = true;
+      merged.records[index] = record;
+    }
+  }
+  u64 missing = 0;
+  for (bool c : covered) missing += c ? 0 : 1;
+  if (missing > 0) {
+    return Status::failed_precondition(
+        "merged journals cover only " + std::to_string(covered.size() - missing) +
+        " of " + std::to_string(covered.size()) +
+        " injections (a shard is missing or incomplete)");
+  }
+  for (const InjectionRecord& record : merged.records) {
+    ++merged.outcome_counts[static_cast<int>(record.outcome)];
+  }
+  return merged;
+}
+
+std::string golden_line(const std::string& key,
+                        const Campaign::Golden& golden) {
+  std::string out = "{";
+  append_str(out, "golden", kMagic);
+  append_str(out, "key", key);
+  append_u64(out, "dyn", golden.dyn_instrs);
+  append_u64(out, "cycles", golden.cycles);
+  append_u64(out, "profile_warp_total", golden.profile.total_warp_instrs);
+  append_u64(out, "profile_thread_total", golden.profile.total_thread_instrs);
+  append_array(out, "profile_op", golden.profile.warp_instrs_by_opcode);
+  append_array(out, "profile_warp", golden.profile.warp_instrs_by_group);
+  append_array(out, "profile_thread", golden.profile.thread_instrs_by_group);
+  out += '}';
+  return out;
+}
+
+Result<std::pair<std::string, Campaign::Golden>> parse_golden_line(
+    const std::string& line) {
+  Fields fields;
+  if (!parse_fields(line, &fields)) {
+    return Status::invalid_argument("golden cache entry: not a JSON object");
+  }
+  if (get_str(fields, "golden").value_or("") != kMagic) {
+    return Status::invalid_argument("golden cache entry: wrong magic");
+  }
+  auto key = get_str(fields, "key");
+  auto dyn = get_u64(fields, "dyn");
+  auto cycles = get_u64(fields, "cycles");
+  auto warp_total = get_u64(fields, "profile_warp_total");
+  auto thread_total = get_u64(fields, "profile_thread_total");
+  if (!key || !dyn || !cycles || !warp_total || !thread_total) {
+    return Status::invalid_argument("golden cache entry: missing field");
+  }
+  Campaign::Golden golden;
+  golden.dyn_instrs = *dyn;
+  golden.cycles = *cycles;
+  golden.profile.total_warp_instrs = *warp_total;
+  golden.profile.total_thread_instrs = *thread_total;
+  if (!copy_array(fields, "profile_op",
+                  &golden.profile.warp_instrs_by_opcode) ||
+      !copy_array(fields, "profile_warp",
+                  &golden.profile.warp_instrs_by_group) ||
+      !copy_array(fields, "profile_thread",
+                  &golden.profile.thread_instrs_by_group)) {
+    return Status::invalid_argument("golden cache entry: bad profile arrays");
+  }
+  return std::make_pair(*key, golden);
+}
+
+}  // namespace gfi::fi

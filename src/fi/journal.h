@@ -1,0 +1,131 @@
+// Crash-safe campaign journal: one JSONL line per completed injection.
+//
+// A journal makes a campaign an append-only log of independent, replayable
+// units. The first line is a header binding the journal to its campaign
+// (workload, arch, fault model, seed, injection count, shard) plus the
+// golden-run reference, so a resumed or merged journal can never silently
+// mix incompatible runs. Every subsequent line is one InjectionRecord,
+// flushed as soon as the injection completes. On restart:
+//   * a file truncated mid-record keeps every complete line (the torn tail
+//     is discarded and overwritten),
+//   * already-journaled injections are skipped, and
+//   * aggregate outcome counts are rebuilt deterministically, so a killed
+//     and resumed campaign is bit-identical to an uninterrupted one.
+// Shard journals (--shard i/N) partition the same index space and are
+// recombined with merge_journals().
+#pragma once
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "fi/campaign.h"
+
+namespace gfi::fi {
+
+/// First line of every journal: identifies the campaign and caches the
+/// phase-1 golden reference so resume never re-runs it.
+struct JournalHeader {
+  std::string workload;
+  std::string arch;  ///< MachineConfig::name
+  std::string mode;  ///< to_string(InjectionMode)
+  std::string flip;  ///< to_string(BitFlipModel)
+  std::optional<std::string> group;  ///< instruction-group filter, if any
+  std::optional<u32> fixed_bit;
+  u64 seed = 0;
+  u64 num_injections = 0;  ///< global campaign size (across all shards)
+  u32 shard_index = 0;
+  u32 shard_count = 1;
+  u64 golden_dyn_instrs = 0;
+  u64 golden_cycles = 0;
+  sim::Profile profile;  ///< golden dynamic-instruction profile
+};
+
+/// Header describing `config` + its golden run.
+JournalHeader make_journal_header(const CampaignConfig& config,
+                                  const Campaign::Golden& golden);
+
+/// Rejects resume against a journal written by a different campaign
+/// (workload, arch, fault model, seed, size, shard, or golden mismatch).
+Status check_journal_compatible(const JournalHeader& header,
+                                const CampaignConfig& config,
+                                const Campaign::Golden& golden);
+
+/// Parsed journal contents. `valid_bytes` is the offset just past the last
+/// complete record — the truncation point for crash-safe appends.
+struct JournalContents {
+  JournalHeader header;
+  std::vector<std::pair<u64, InjectionRecord>> records;  ///< (global index, record)
+  u64 valid_bytes = 0;
+};
+
+class Journal {
+ public:
+  /// Loads a journal, tolerating a torn trailing record (a mid-record crash
+  /// leaves a partial last line, which is dropped). A malformed line in the
+  /// middle of the file is corruption and fails.
+  static Result<JournalContents> load(const std::string& path);
+
+  // Serialization primitives (exposed for tests and the merge tool).
+  static std::string header_line(const JournalHeader& header);
+  static std::string record_line(u64 index, const InjectionRecord& record);
+  static Result<JournalHeader> parse_header(const std::string& line);
+  static Result<std::pair<u64, InjectionRecord>> parse_record(
+      const std::string& line);
+};
+
+/// Append-only writer; one flushed line per record. Thread-safe.
+class JournalWriter {
+ public:
+  /// Creates (truncating) `path` and writes the header line.
+  static Result<std::unique_ptr<JournalWriter>> create(
+      const std::string& path, const JournalHeader& header);
+
+  /// Opens an existing journal for appending, first truncating the file to
+  /// `valid_bytes` (from Journal::load) so a torn tail never corrupts the
+  /// next record.
+  static Result<std::unique_ptr<JournalWriter>> open_append(
+      const std::string& path, u64 valid_bytes);
+
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  Status append(u64 index, const InjectionRecord& record);
+
+ private:
+  explicit JournalWriter(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+};
+
+/// A full campaign reassembled from shard journals: records dense over
+/// [0, num_injections) in index order, plus the rebuilt outcome table.
+struct MergedCampaign {
+  JournalHeader header;  ///< shard fields reset to 0/1
+  std::vector<InjectionRecord> records;
+  std::array<u64, kOutcomeCount> outcome_counts{};
+
+  [[nodiscard]] u64 count(Outcome outcome) const {
+    return outcome_counts[static_cast<int>(outcome)];
+  }
+};
+
+/// Merges shard journals into one campaign. Fails if the journals disagree
+/// on the campaign identity, overlap, or leave indices uncovered.
+Result<MergedCampaign> merge_journals(const std::vector<std::string>& paths);
+
+/// Serialization of one golden run, used by the on-disk golden cache. `key`
+/// is the full cache key; it is stored verbatim so a filename-hash collision
+/// degrades to a recompute, never to a wrong reference.
+std::string golden_line(const std::string& key, const Campaign::Golden& golden);
+Result<std::pair<std::string, Campaign::Golden>> parse_golden_line(
+    const std::string& line);
+
+}  // namespace gfi::fi

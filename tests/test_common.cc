@@ -83,6 +83,18 @@ TEST(Rng, DoubleInUnitInterval) {
   }
 }
 
+TEST(Rng, StreamSeedIsPositionIndependent) {
+  // The contract sharded/resumable campaigns rely on: the seed of stream i
+  // is a pure function of (seed, i), so drawing streams in any order, from
+  // any shard, yields identical generators.
+  EXPECT_EQ(Rng::stream_seed(42, 7), Rng::stream_seed(42, 7));
+  EXPECT_NE(Rng::stream_seed(42, 7), Rng::stream_seed(42, 8));
+  EXPECT_NE(Rng::stream_seed(42, 7), Rng::stream_seed(43, 7));
+  Rng direct = Rng(Rng::stream_seed(42, 7));
+  Rng stream = Rng::for_stream(42, 7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(direct.next(), stream.next());
+}
+
 TEST(Rng, RoughlyUniform) {
   Rng rng(31337);
   int buckets[10] = {};
@@ -153,6 +165,39 @@ TEST(Stats, RunningStatsMatchesClosedForm) {
   EXPECT_NEAR(rs.stddev(), 2.138, 1e-3);  // sample stddev
   EXPECT_EQ(rs.min(), 2.0);
   EXPECT_EQ(rs.max(), 9.0);
+}
+
+TEST(Stats, MergeMatchesSequentialAccumulation) {
+  // Shard-merge semantics: accumulating [0,20) in one pass must equal
+  // accumulating two halves separately and merging.
+  stats::RunningStats sequential, left, right;
+  for (int i = 0; i < 20; ++i) {
+    const f64 x = static_cast<f64>(i * i) - 7.5;
+    sequential.add(x);
+    (i < 9 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), sequential.count());
+  EXPECT_NEAR(left.mean(), sequential.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), sequential.variance(), 1e-6);
+  EXPECT_EQ(left.min(), sequential.min());
+  EXPECT_EQ(left.max(), sequential.max());
+}
+
+TEST(Stats, MergeWithEmptySidesIsIdentity) {
+  stats::RunningStats stats, empty;
+  stats.add(1.0);
+  stats.add(3.0);
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_NEAR(stats.mean(), 2.0, 1e-12);
+
+  stats::RunningStats target;
+  target.merge(stats);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_NEAR(target.mean(), 2.0, 1e-12);
+  EXPECT_EQ(target.min(), 1.0);
+  EXPECT_EQ(target.max(), 3.0);
 }
 
 TEST(Stats, WilsonIntervalContainsPointEstimate) {

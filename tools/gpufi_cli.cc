@@ -8,6 +8,8 @@
 //   gpufi compare <workload> [flags]        A100-vs-H100 campaign + z-tests
 //   gpufi trace <workload> [flags]          trace the first instructions of
 //                                           a golden run + opcode histogram
+//   gpufi merge <journal...> [--csv=]       recombine shard journals into
+//                                           the campaign outcome table
 //
 // Flags (campaign/compare/golden):
 //   --arch=a100|h100|toy     machine model            (default a100)
@@ -20,6 +22,16 @@
 //   --ecc=on|off             force RF+DRAM ECC
 //   --csv=<path>             also write the outcome table as CSV
 //   --records=<path>         dump one CSV row per injection record
+//
+// Scale-out flags (campaign):
+//   --shard=i/N              run global injection indices i, i+N, i+2N, ...;
+//                            N shards partition the campaign bit-exactly
+//   --journal=<path>         JSONL journal: one flushed record per completed
+//                            injection; rerunning with an existing journal
+//                            resumes, skipping completed injections
+//   --golden-cache=<dir>     share golden (fault-free) runs across processes
+//   --watchdog=<n>           absolute per-injection watchdog budget
+//                            (dynamic warp instrs; default 3x golden + 10000)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +44,8 @@
 #include "arch/arch.h"
 #include "common/table.h"
 #include "fi/campaign.h"
+#include "fi/golden_cache.h"
+#include "fi/journal.h"
 #include "sassim/simulator.h"
 #include "sassim/tracer.h"
 #include "workloads/workload.h"
@@ -43,6 +57,7 @@ using namespace gfi;
 struct Options {
   std::string command;
   std::string workload;
+  std::vector<std::string> positionals;  ///< extra non-flag args (merge)
   std::string arch = "a100";
   std::string mode = "iov";
   std::string flip = "single";
@@ -53,13 +68,18 @@ struct Options {
   std::optional<bool> ecc_on;
   std::optional<std::string> csv;
   std::optional<std::string> records;
+  u32 shard_index = 0;
+  u32 shard_count = 1;
+  std::optional<std::string> journal;
+  std::optional<std::string> golden_cache;
+  std::optional<u64> watchdog;
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: gpufi <list|disasm|golden|campaign|compare> "
-               "[workload] [--flags]\n(see the header of tools/gpufi_cli.cc "
-               "for the flag reference)\n");
+               "usage: gpufi <list|disasm|golden|campaign|compare|merge> "
+               "[workload|journal...] [--flags]\n(see the header of "
+               "tools/gpufi_cli.cc for the flag reference)\n");
   return 2;
 }
 
@@ -76,8 +96,13 @@ std::optional<Options> parse(int argc, char** argv) {
   Options options;
   options.command = argv[1];
   int position = 2;
-  if (position < argc && argv[position][0] != '-') {
-    options.workload = argv[position++];
+  while (position < argc && argv[position][0] != '-') {
+    if (options.workload.empty()) {
+      options.workload = argv[position];
+    } else {
+      options.positionals.emplace_back(argv[position]);
+    }
+    ++position;
   }
   for (; position < argc; ++position) {
     const std::string arg = argv[position];
@@ -112,6 +137,36 @@ std::optional<Options> parse(int argc, char** argv) {
     }
     if (parse_flag(arg, "records", &value)) {
       options.records = value;
+      continue;
+    }
+    if (parse_flag(arg, "shard", &value)) {
+      const std::size_t slash = value.find('/');
+      char* end = nullptr;
+      if (slash != std::string::npos) {
+        options.shard_index = static_cast<u32>(
+            std::strtoul(value.c_str(), &end, 10));
+        options.shard_count = static_cast<u32>(
+            std::strtoul(value.c_str() + slash + 1, &end, 10));
+      }
+      if (slash == std::string::npos || options.shard_count == 0 ||
+          options.shard_index >= options.shard_count) {
+        std::fprintf(stderr,
+                     "bad --shard '%s' (want i/N with 0 <= i < N)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (parse_flag(arg, "journal", &value)) {
+      options.journal = value;
+      continue;
+    }
+    if (parse_flag(arg, "golden-cache", &value)) {
+      options.golden_cache = value;
+      continue;
+    }
+    if (parse_flag(arg, "watchdog", &value)) {
+      options.watchdog = std::strtoull(value.c_str(), nullptr, 10);
       continue;
     }
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -179,6 +234,13 @@ std::optional<fi::CampaignConfig> campaign_config(const Options& options) {
   config.num_injections = options.injections;
   config.seed = options.seed;
   config.fixed_bit = options.bit;
+  config.shard_index = options.shard_index;
+  config.shard_count = options.shard_count;
+  config.journal_path = options.journal;
+  config.watchdog_instrs = options.watchdog;
+  if (options.golden_cache) {
+    fi::GoldenCache::instance().set_directory(*options.golden_cache);
+  }
   if (options.group) {
     auto group = group_for(*options.group);
     if (!group) return std::nullopt;
@@ -235,10 +297,20 @@ int cmd_campaign(const Options& options) {
     std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
     return 1;
   }
-  Table table("Campaign: " + options.workload + " on " +
-              config->machine.name + ", " +
-              std::string(fi::to_string(config->model.mode)) + "/" +
-              fi::to_string(config->model.flip));
+  std::string title = "Campaign: " + options.workload + " on " +
+                      config->machine.name + ", " +
+                      std::string(fi::to_string(config->model.mode)) + "/" +
+                      fi::to_string(config->model.flip);
+  if (config->shard_count > 1) {
+    title += " [shard " + std::to_string(config->shard_index) + "/" +
+             std::to_string(config->shard_count) + "]";
+  }
+  if (result.value().resumed > 0) {
+    std::printf("resumed %zu of %zu injections from %s\n",
+                result.value().resumed, result.value().records.size(),
+                config->journal_path->c_str());
+  }
+  Table table(title);
   table.set_header(analysis::outcome_header());
   table.add_row(analysis::outcome_row(options.workload, result.value()));
   table.print();
@@ -288,6 +360,39 @@ int cmd_compare(Options options) {
   return 0;
 }
 
+int cmd_merge(const Options& options) {
+  // The first journal path lands in the workload slot of the parser.
+  std::vector<std::string> paths;
+  if (!options.workload.empty()) paths.push_back(options.workload);
+  paths.insert(paths.end(), options.positionals.begin(),
+               options.positionals.end());
+  if (paths.empty()) return usage();
+  auto merged = fi::merge_journals(paths);
+  if (!merged.is_ok()) {
+    std::fprintf(stderr, "%s\n", merged.status().to_string().c_str());
+    return 1;
+  }
+  // Shell result so the standard reporting helpers apply; the merged table
+  // is bit-identical to the one an unsharded campaign would print.
+  fi::CampaignResult result;
+  result.config.workload = merged.value().header.workload;
+  result.records = std::move(merged.value().records);
+  result.outcome_counts = merged.value().outcome_counts;
+  Table table("Campaign: " + merged.value().header.workload + " on " +
+              merged.value().header.arch + ", " + merged.value().header.mode +
+              "/" + merged.value().header.flip);
+  table.set_header(analysis::outcome_header());
+  table.add_row(analysis::outcome_row(merged.value().header.workload, result));
+  table.print();
+  std::printf("uncorrected failure rate (SDC+DUE+Hang): %s\n",
+              Table::pct(analysis::uncorrected_failure_rate(result)).c_str());
+  if (options.csv) (void)table.write_csv(*options.csv);
+  if (options.records) {
+    (void)analysis::write_records_csv(result, *options.records);
+  }
+  return 0;
+}
+
 int cmd_trace(const Options& options) {
   auto machine = machine_for(options);
   if (!machine) return 2;
@@ -325,6 +430,7 @@ int main(int argc, char** argv) {
   if (!options) return usage();
   if (options->command == "list") return cmd_list();
   if (options->workload.empty()) return usage();
+  if (options->command == "merge") return cmd_merge(*options);
   if (options->command == "disasm") return cmd_disasm(*options);
   if (options->command == "golden") return cmd_golden(*options);
   if (options->command == "campaign") return cmd_campaign(*options);
