@@ -1,0 +1,119 @@
+// R-A4 (mitigation): detection-and-recovery — how much of the failure
+// surface trap-and-retry relaunch claws back, and what detector feeds it.
+//
+// For each arch and workload, five strategies under IOV single-bit faults:
+//   baseline      no recovery (the R-F1/F2 view)
+//   retry         checkpoint-restore relaunch of detected errors (DUE/Hang)
+//   retry/stuck   same budget, but the fault is re-injected every attempt —
+//                 the control showing retry only helps transient upsets
+//   abft+retry    ABFT checksum kernel (traps on corrupt output) + retry
+//   swift+retry   SWIFT duplication (traps before corrupt stores) + retry
+//
+// Reported per strategy: pre-recovery failure split, what recovery converted
+// to correct reruns, the relaunch-count distribution, and the dynamic-
+// instruction overhead versus one golden run.
+#include "bench_util.h"
+
+#include <map>
+
+#include "harden/swift.h"
+#include "recover/abft.h"
+
+namespace {
+
+using namespace gfi;
+
+struct Strategy {
+  const char* label;
+  std::string workload;
+  fi::FaultPersistence persist;
+  u32 retries;
+};
+
+/// "1x42 2x7 4x1" — how many injections consumed k launches.
+std::string histogram_cell(const analysis::RecoverySummary& summary) {
+  std::string out;
+  for (std::size_t k = 0; k < summary.attempts_histogram.size(); ++k) {
+    if (summary.attempts_histogram[k] == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += std::to_string(k + 1) + "x" +
+           std::to_string(summary.attempts_histogram[k]);
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+int main() {
+  benchx::banner("R-A4",
+                 "Trap-and-retry recovery: DUE/Hang reclaimed, by detector "
+                 "(A100 vs H100)");
+  harden::register_hardened_workloads();
+  recover::register_abft_workloads();
+
+  // The ABFT variants are hand-built sibling kernels, not a transform, so
+  // the pairing is explicit.
+  const std::map<std::string, std::string> abft_for = {
+      {"gemm", "gemm_abft"},
+      {"reduce_u32", "reduce_abft"},
+      {"spmv", "spmv_abft"},
+  };
+
+  Table table("Recovery by strategy (IOV single-bit, 3 retries)");
+  table.set_header({"arch", "workload", "strategy", "SDC", "DUE+Hang",
+                    "recovered", "unrecov", "converted", "attempts",
+                    "dyn overhead", "injections"});
+
+  for (const auto& machine : {arch::a100(), arch::h100()}) {
+    for (const auto& [base, abft] : abft_for) {
+      const std::vector<Strategy> strategies = {
+          {"baseline", base, fi::FaultPersistence::kTransient, 0},
+          {"retry", base, fi::FaultPersistence::kTransient, 3},
+          {"retry/stuck", base, fi::FaultPersistence::kStuckAt, 3},
+          {"abft+retry", abft, fi::FaultPersistence::kTransient, 3},
+          {"swift+retry", base + "_swift", fi::FaultPersistence::kTransient,
+           3},
+      };
+      for (const Strategy& strategy : strategies) {
+        if (!wl::make_workload(strategy.workload)) continue;  // not hardenable
+        auto config = benchx::base_config(strategy.workload, machine);
+        config.model.persistence = strategy.persist;
+        config.max_retries = strategy.retries;
+        const auto result = benchx::must_run(config);
+        const auto summary = analysis::summarize_recovery(result);
+        // Pre-recovery failures: what an unprotected run of this kernel
+        // would have lost (SDCs included — only a detector converts those).
+        u64 pre_failures = 0;
+        for (const fi::InjectionRecord& record : result.records) {
+          if (record.pre_recovery == fi::Outcome::kSdc ||
+              record.pre_recovery == fi::Outcome::kDue ||
+              record.pre_recovery == fi::Outcome::kHang) {
+            ++pre_failures;
+          }
+        }
+        const f64 converted =
+            pre_failures ? static_cast<f64>(summary.recovered) /
+                               static_cast<f64>(pre_failures)
+                         : 0.0;
+        table.add_row({machine.name, base, strategy.label,
+                       analysis::rate_cell(result, fi::Outcome::kSdc),
+                       std::to_string(summary.detected),
+                       std::to_string(summary.recovered),
+                       std::to_string(summary.unrecoverable),
+                       Table::pct(converted),
+                       histogram_cell(summary),
+                       Table::fmt(summary.dyn_overhead, 2) + "x",
+                       std::to_string(result.records.size())});
+      }
+    }
+  }
+  benchx::emit(table, "r_a4_recovery");
+
+  std::printf(
+      "Expected shape: under transient faults retry converts essentially all\n"
+      "DUE/Hang into recovered-correct runs at a modest relaunch overhead;\n"
+      "under stuck-at faults it converts none (every relaunch re-traps).\n"
+      "ABFT and SWIFT widen the recoverable pool by first turning SDCs into\n"
+      "detected traps — recovery is only as good as its detector.\n");
+  return 0;
+}

@@ -11,7 +11,8 @@ const std::vector<fi::Outcome>& reported_outcomes() {
       fi::Outcome::kMasked,  fi::Outcome::kMaskedTolerated,
       fi::Outcome::kSdc,     fi::Outcome::kDue,
       fi::Outcome::kHang,    fi::Outcome::kDetectedCorrected,
-      fi::Outcome::kNotActivated,
+      fi::Outcome::kNotActivated, fi::Outcome::kRecoveredRetry,
+      fi::Outcome::kUnrecoverableDue,
   };
   return kOutcomes;
 }
@@ -69,15 +70,77 @@ std::vector<std::string> profile_row(const std::string& label,
 
 f64 uncorrected_failure_rate(const fi::CampaignResult& result) {
   return result.rate(fi::Outcome::kSdc) + result.rate(fi::Outcome::kDue) +
-         result.rate(fi::Outcome::kHang);
+         result.rate(fi::Outcome::kHang) +
+         result.rate(fi::Outcome::kUnrecoverableDue);
+}
+
+RecoverySummary summarize_recovery(const fi::CampaignResult& result) {
+  RecoverySummary summary;
+  summary.injections = result.records.size();
+  if (summary.injections == 0) return summary;
+  u64 total_attempts = 0;
+  u64 total_dyn = 0;
+  for (const fi::InjectionRecord& record : result.records) {
+    const bool was_detected =
+        record.pre_recovery == fi::Outcome::kDue ||
+        record.pre_recovery == fi::Outcome::kHang;
+    if (was_detected) ++summary.detected;
+    if (record.outcome == fi::Outcome::kRecoveredRetry) ++summary.recovered;
+    if (record.outcome == fi::Outcome::kUnrecoverableDue) {
+      ++summary.unrecoverable;
+    }
+    if (was_detected && record.outcome == fi::Outcome::kSdc) {
+      ++summary.retried_to_sdc;
+    }
+    if (summary.attempts_histogram.size() < record.attempts) {
+      summary.attempts_histogram.resize(record.attempts, 0);
+    }
+    ++summary.attempts_histogram[record.attempts - 1];
+    total_attempts += record.attempts;
+    total_dyn += record.dyn_instrs;
+  }
+  summary.converted_fraction =
+      summary.detected ? static_cast<f64>(summary.recovered) /
+                             static_cast<f64>(summary.detected)
+                       : 0.0;
+  summary.mean_attempts = static_cast<f64>(total_attempts) /
+                          static_cast<f64>(summary.injections);
+  if (result.golden_dyn_instrs > 0) {
+    summary.dyn_overhead =
+        static_cast<f64>(total_dyn) /
+        (static_cast<f64>(summary.injections) *
+         static_cast<f64>(result.golden_dyn_instrs));
+  }
+  return summary;
+}
+
+std::vector<std::string> recovery_header() {
+  return {"config",     "injections", "detected",  "recovered",
+          "unrecov",    "retry->SDC", "converted", "mean attempts",
+          "dyn overhead"};
+}
+
+std::vector<std::string> recovery_row(const std::string& label,
+                                      const fi::CampaignResult& result) {
+  const RecoverySummary s = summarize_recovery(result);
+  return {label,
+          std::to_string(s.injections),
+          std::to_string(s.detected),
+          std::to_string(s.recovered),
+          std::to_string(s.unrecoverable),
+          std::to_string(s.retried_to_sdc),
+          Table::pct(s.converted_fraction, 1),
+          Table::fmt(s.mean_attempts, 2),
+          Table::fmt(s.dyn_overhead, 2)};
 }
 
 Status write_records_csv(const fi::CampaignResult& result,
                          const std::string& path) {
   Table table;
-  table.set_header({"run", "outcome", "mode", "flip", "group", "occurrence",
-                    "activated", "struck_opcode", "struck_lane", "trap",
-                    "xid", "error_magnitude", "dyn_instrs"});
+  table.set_header({"run", "outcome", "pre_outcome", "attempts", "mode",
+                    "flip", "persist", "group", "occurrence", "activated",
+                    "struck_opcode", "struck_lane", "trap", "xid",
+                    "error_magnitude", "dyn_instrs"});
   for (std::size_t i = 0; i < result.records.size(); ++i) {
     const fi::InjectionRecord& record = result.records[i];
     // Sharded results carry the global injection index of each record.
@@ -85,8 +148,11 @@ Status write_records_csv(const fi::CampaignResult& result,
     table.add_row({
         std::to_string(run),
         fi::to_string(record.outcome),
+        fi::to_string(record.pre_recovery),
+        std::to_string(record.attempts),
         fi::to_string(record.site.model.mode),
         fi::to_string(record.site.model.flip),
+        fi::to_string(record.site.model.persistence),
         record.site.group ? sim::group_name(*record.site.group) : "-",
         std::to_string(record.site.target_occurrence),
         record.effect.activated ? "1" : "0",

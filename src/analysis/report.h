@@ -32,8 +32,34 @@ std::vector<std::string> profile_row(const std::string& label,
 std::vector<std::string> profile_header();
 
 /// Architectural Vulnerability Factor estimate for a campaign: fraction of
-/// injections whose outcome corrupts or kills the program (SDC+DUE+Hang).
+/// injections whose outcome corrupts or kills the program
+/// (SDC + DUE + Hang + UnrecoverableDUE).
 f64 uncorrected_failure_rate(const fi::CampaignResult& result);
+
+/// Aggregate view of what trap-and-retry recovery bought in a campaign.
+/// Meaningful for runs with max_retries > 0; degenerates to zeros otherwise.
+struct RecoverySummary {
+  u64 injections = 0;
+  u64 detected = 0;       ///< pre-recovery classification was DUE or Hang
+  u64 recovered = 0;      ///< ... and a relaunch produced a correct result
+  u64 unrecoverable = 0;  ///< ... and every allowed relaunch trapped again
+  u64 retried_to_sdc = 0; ///< relaunch completed but its output was wrong
+  /// recovered / detected (0 when nothing was detected).
+  f64 converted_fraction = 0.0;
+  f64 mean_attempts = 1.0;  ///< launches per injection, averaged over all
+  /// attempt-count distribution: attempts_histogram[k] = injections that
+  /// consumed exactly k+1 launches.
+  std::vector<u64> attempts_histogram;
+  /// Mean dynamic-instruction cost per injection relative to one golden run
+  /// (1.0 = no overhead; retries push it up).
+  f64 dyn_overhead = 0.0;
+};
+RecoverySummary summarize_recovery(const fi::CampaignResult& result);
+
+/// Table row/header for recovery summaries (bench_a4_recovery).
+std::vector<std::string> recovery_header();
+std::vector<std::string> recovery_row(const std::string& label,
+                                      const fi::CampaignResult& result);
 
 /// Writes one CSV row per injection record (outcome, struck site, trap,
 /// XID, error magnitude) — the raw-data export for external analysis.

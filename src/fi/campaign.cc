@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "fi/golden_cache.h"
 #include "fi/journal.h"
+#include "recover/retry.h"
 #include "sassim/device.h"
 #include "workloads/workload.h"
 
@@ -95,32 +96,38 @@ Result<FaultSite> sample_site(const CampaignConfig& config,
   return site;
 }
 
-/// Pre-launch memory injection: flips bits in one allocated word.
-void inject_memory_fault(sim::Device& device, const FaultSite& site, Rng& rng) {
-  sim::GlobalMemory& memory = device.memory();
-  const u64 allocated = memory.bytes_allocated();
-  if (allocated < 4) return;
-  const u64 words = allocated / 4;
-  const u64 addr =
-      sim::GlobalMemory::kBaseAddress + rng.next_below(words) * 4;
+/// A sampled pre-launch memory upset. Sampled once per injection (not per
+/// attempt) so a stuck-at retry re-applies the identical fault.
+struct MemoryFault {
+  u64 addr = 0;
   u32 mask = 0;
+};
+
+std::optional<MemoryFault> sample_memory_fault(const sim::GlobalMemory& memory,
+                                               const FaultSite& site,
+                                               Rng& rng) {
+  const u64 allocated = memory.bytes_allocated();
+  if (allocated < 4) return std::nullopt;
+  const u64 words = allocated / 4;
+  MemoryFault fault;
+  fault.addr = sim::GlobalMemory::kBaseAddress + rng.next_below(words) * 4;
   switch (site.model.flip) {
     case BitFlipModel::kSingle:
-      mask = 1u << (site.bit_sel % 32);
+      fault.mask = 1u << (site.bit_sel % 32);
       break;
     case BitFlipModel::kDouble: {
       u32 b2 = site.bit_sel2 % 32;
       if (b2 == site.bit_sel % 32) b2 = (b2 + 1) % 32;
-      mask = (1u << (site.bit_sel % 32)) | (1u << b2);
+      fault.mask = (1u << (site.bit_sel % 32)) | (1u << b2);
       break;
     }
     case BitFlipModel::kRandomValue:
     case BitFlipModel::kZeroValue:
       // A whole-word upset: random multi-bit pattern (never zero).
-      mask = static_cast<u32>(site.random_value) | 1u;
+      fault.mask = static_cast<u32>(site.random_value) | 1u;
       break;
   }
-  memory.inject_fault(addr, mask);
+  return fault;
 }
 
 }  // namespace
@@ -134,8 +141,15 @@ const char* to_string(Outcome outcome) {
     case Outcome::kHang: return "Hang";
     case Outcome::kDetectedCorrected: return "Corrected";
     case Outcome::kNotActivated: return "NotActivated";
+    case Outcome::kRecoveredRetry: return "RecoveredRetry";
+    case Outcome::kUnrecoverableDue: return "UnrecoverableDUE";
   }
   return "?";
+}
+
+Outcome outcome_for_trap(sim::TrapKind kind) {
+  return kind == sim::TrapKind::kWatchdogTimeout ? Outcome::kHang
+                                                 : Outcome::kDue;
 }
 
 f64 CampaignResult::rate(Outcome outcome) const {
@@ -201,54 +215,110 @@ Result<InjectionRecord> Campaign::run_single(const CampaignConfig& config,
   InjectionRecord record;
   record.site = site.value();
 
-  InjectorHook injector(site.value(), device.config());
-  sim::LaunchOptions options;
-  options.watchdog_instrs = watchdog_for(config, golden_dyn_instrs);
-  if (config.model.mode == InjectionMode::kMemory) {
-    inject_memory_fault(device, site.value(), rng);
-    record.effect.activated = true;  // the upset is in place
-  } else {
-    options.hooks.push_back(&injector);
+  const bool memory_mode = config.model.mode == InjectionMode::kMemory;
+  // Memory mode samples its struck word once, before any attempt, so a
+  // stuck-at retry re-applies the identical upset (and so the rng sequence
+  // matches pre-recovery campaigns bit-exactly).
+  std::optional<MemoryFault> mem_fault;
+  if (memory_mode) {
+    mem_fault = sample_memory_fault(device.memory(), site.value(), rng);
   }
+  const u64 watchdog = watchdog_for(config, golden_dyn_instrs);
+  const bool stuck_at =
+      config.model.persistence == FaultPersistence::kStuckAt;
 
-  auto launch = device.launch(workload->program(), spec.value().grid,
-                              spec.value().block, spec.value().params, options);
-  if (!launch.is_ok()) return launch.status();
-  record.effect = config.model.mode == InjectionMode::kMemory
-                      ? record.effect
-                      : injector.effect();
-  record.dyn_instrs = launch.value().dyn_warp_instrs;
+  bool not_activated = false;
+  u64 first_launch_sbe = 0;
+  std::optional<wl::Workload::Checked> final_check;
 
-  if (launch.value().trap.fired()) {
-    record.trap = launch.value().trap.kind;
-    record.outcome = record.trap == sim::TrapKind::kWatchdogTimeout
-                         ? Outcome::kHang
-                         : Outcome::kDue;
+  // One attempt = arm fault (if due) + launch + result check. The retry
+  // executor restores the pre-attempt checkpoint between calls, so every
+  // attempt sees bit-identical initial device state.
+  auto attempt_fn = [&](u32 attempt) -> Result<recover::Attempt> {
+    const bool armed = attempt == 0 || stuck_at;
+    InjectorHook injector(site.value(), device.config());
+    sim::LaunchOptions options;
+    options.watchdog_instrs = watchdog;
+    if (memory_mode) {
+      if (armed && mem_fault) {
+        device.memory().inject_fault(mem_fault->addr, mem_fault->mask);
+      }
+    } else if (armed) {
+      options.hooks.push_back(&injector);
+    }
+
+    auto launch = device.launch(workload->program(), spec.value().grid,
+                                spec.value().block, spec.value().params,
+                                options);
+    if (!launch.is_ok()) return launch.status();
+    if (attempt == 0) {
+      if (memory_mode) {
+        record.effect.activated = mem_fault.has_value();
+      } else {
+        record.effect = injector.effect();
+      }
+      first_launch_sbe = launch.value().ecc.corrected_sbe;
+    }
+
+    recover::Attempt result;
+    result.dyn_instrs = launch.value().dyn_warp_instrs;
+    final_check.reset();
+    if (launch.value().trap.fired()) {
+      result.trap = launch.value().trap;
+      return result;
+    }
+    if (attempt == 0 && !memory_mode && !record.effect.activated) {
+      not_activated = true;  // site predicated off; output is golden
+      return result;
+    }
+    auto checked = workload->check(device);
+    if (!checked.is_ok()) return checked.status();
+    final_check = checked.value();
+    if (checked.value().trap != sim::TrapKind::kNone) {
+      // DBE consumed during result copy-back: detected at the API boundary.
+      result.trap.kind = checked.value().trap;
+    }
+    return result;
+  };
+
+  auto executed = recover::run_with_retry(
+      device, recover::RetryPolicy{config.max_retries}, attempt_fn);
+  if (!executed.is_ok()) return executed.status();
+  const recover::RetryResult& retry = executed.value();
+  record.attempts = retry.attempts;
+  record.dyn_instrs = retry.total_dyn_instrs;
+
+  if (retry.gave_up()) {
+    record.trap = retry.last_trap.kind;
+    record.pre_recovery = outcome_for_trap(retry.first_trap.kind);
+    // With recovery off the historical labels (DUE / Hang) stand unchanged.
+    record.outcome = config.max_retries == 0 ? record.pre_recovery
+                                             : Outcome::kUnrecoverableDue;
     return record;
   }
 
-  if (config.model.mode != InjectionMode::kMemory &&
-      !record.effect.activated) {
-    record.outcome = Outcome::kNotActivated;
+  if (not_activated) {
+    record.outcome = record.pre_recovery = Outcome::kNotActivated;
     return record;
   }
 
-  auto checked = workload->check(device);
-  if (!checked.is_ok()) return checked.status();
-  if (checked.value().trap != sim::TrapKind::kNone) {
-    record.trap = checked.value().trap;
-    record.outcome = Outcome::kDue;  // DBE consumed during result copy-back
-    return record;
-  }
-
-  const wl::CheckResult& result = checked.value().result;
+  // Final attempt completed and was checked.
+  const wl::CheckResult& result = final_check->result;
   record.error_magnitude = result.max_rel_err;
+  if (retry.recovered()) {
+    // The run would have been lost without recovery; record what was
+    // detected and whether the relaunch actually produced a good answer.
+    record.trap = retry.first_trap.kind;
+    record.pre_recovery = outcome_for_trap(retry.first_trap.kind);
+    record.outcome =
+        result.passed() ? Outcome::kRecoveredRetry : Outcome::kSdc;
+    return record;
+  }
   if (record.effect.corrected_by_ecc) {
     record.outcome = Outcome::kDetectedCorrected;
   } else if (result.bitwise_equal) {
     // For memory mode, credit ECC when the launch observed corrections.
-    record.outcome = (config.model.mode == InjectionMode::kMemory &&
-                      launch.value().ecc.corrected_sbe > 0)
+    record.outcome = (memory_mode && first_launch_sbe > 0)
                          ? Outcome::kDetectedCorrected
                          : Outcome::kMasked;
   } else if (result.within_tolerance) {
@@ -256,6 +326,7 @@ Result<InjectionRecord> Campaign::run_single(const CampaignConfig& config,
   } else {
     record.outcome = Outcome::kSdc;
   }
+  record.pre_recovery = record.outcome;
   return record;
 }
 

@@ -35,10 +35,19 @@ enum class Outcome : u8 {
   kHang,               ///< watchdog timeout
   kDetectedCorrected,  ///< ECC corrected the fault (no corruption occurred)
   kNotActivated,       ///< site was predicated off / never consumed
+  // Recovery outcomes (max_retries > 0 only): what a DUE/Hang turned into
+  // after checkpoint-restore relaunches (recover/retry.h).
+  kRecoveredRetry,     ///< trapped, then a relaunch from checkpoint passed
+  kUnrecoverableDue,   ///< trapped on every allowed relaunch attempt
 };
 
-inline constexpr int kOutcomeCount = static_cast<int>(Outcome::kNotActivated) + 1;
+inline constexpr int kOutcomeCount =
+    static_cast<int>(Outcome::kUnrecoverableDue) + 1;
 const char* to_string(Outcome outcome);
+
+/// The campaign classifier's trap rule: a watchdog timeout is a Hang,
+/// everything else a trap can report is a DUE.
+Outcome outcome_for_trap(sim::TrapKind kind);
 
 struct CampaignConfig {
   std::string workload;            ///< registry name
@@ -75,15 +84,29 @@ struct CampaignConfig {
   u64 watchdog_floor = 10000;
   /// Absolute override of the budget (tests / pathological kernels).
   std::optional<u64> watchdog_instrs;
+
+  // --- recovery ----------------------------------------------------------
+  /// >0 enables trap-and-retry: a run ending in a detected error (DUE or
+  /// Hang) is restored to its pre-launch checkpoint and relaunched up to
+  /// this many extra times. A retry that completes and passes its check is
+  /// kRecoveredRetry; one that traps on every attempt is kUnrecoverableDue.
+  /// Whether the retry sees the fault again is model.persistence. SDCs are
+  /// never retried — nothing detected them.
+  u32 max_retries = 0;
 };
 
 struct InjectionRecord {
   Outcome outcome = Outcome::kNotActivated;
+  /// Classification before any recovery ran (== outcome when the run didn't
+  /// trap or max_retries is 0): what this injection would have cost an
+  /// unprotected system.
+  Outcome pre_recovery = Outcome::kNotActivated;
+  u32 attempts = 1;  ///< launches consumed (1 = no retry needed)
   FaultSite site;
   InjectionEffect effect;
   sim::TrapKind trap = sim::TrapKind::kNone;
   f64 error_magnitude = 0.0;  ///< max relative output error when mismatched
-  u64 dyn_instrs = 0;
+  u64 dyn_instrs = 0;  ///< dynamic warp instructions, summed over attempts
 };
 
 struct CampaignResult {

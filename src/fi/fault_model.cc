@@ -23,6 +23,14 @@ const char* to_string(BitFlipModel flip) {
   return "?";
 }
 
+const char* to_string(FaultPersistence persistence) {
+  switch (persistence) {
+    case FaultPersistence::kTransient: return "transient";
+    case FaultPersistence::kStuckAt: return "stuck-at";
+  }
+  return "?";
+}
+
 bool mode_targets_group(InjectionMode mode, sim::InstrGroup group) {
   using sim::InstrGroup;
   switch (mode) {

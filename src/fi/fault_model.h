@@ -32,13 +32,24 @@ enum class BitFlipModel : u8 {
   kZeroValue,    ///< replace the value with zero
 };
 
+/// Whether the fault survives a relaunch of the same kernel. Irrelevant
+/// without recovery (every injection launches once); with trap-and-retry
+/// (recover/retry.h) it separates soft errors, which a relaunch clears,
+/// from permanent defects, which re-assert on every attempt.
+enum class FaultPersistence : u8 {
+  kTransient,  ///< one-shot upset: the retry runs fault-free
+  kStuckAt,    ///< permanent defect: re-injected identically on every retry
+};
+
 struct FaultModel {
   InjectionMode mode = InjectionMode::kIov;
   BitFlipModel flip = BitFlipModel::kSingle;
+  FaultPersistence persistence = FaultPersistence::kTransient;
 };
 
 const char* to_string(InjectionMode mode);
 const char* to_string(BitFlipModel flip);
+const char* to_string(FaultPersistence persistence);
 
 /// True when `group` can be targeted by `mode` (e.g. IOV needs a
 /// register/predicate-writing group; IOA needs stores).

@@ -10,6 +10,7 @@
 #include <unistd.h>
 #endif
 
+#include "common/logging.h"
 #include "fi/journal.h"
 
 namespace gfi::fi {
@@ -104,12 +105,23 @@ Result<Campaign::Golden> GoldenCache::get_or_run(
       std::getline(file, line);
       auto parsed = parse_golden_line(line);
       // Any disk-layer problem (stale format, hash collision, torn write)
-      // degrades to recomputing the golden run.
+      // degrades to recomputing the golden run — loudly, so an operator can
+      // tell a corrupted cache from a cold one.
       if (parsed.is_ok() && parsed.value().first == key) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++hits_;
         entries_[key] = parsed.value().second;
         return std::move(parsed).take().second;
+      }
+      if (!parsed.is_ok()) {
+        GFI_LOG(kWarn) << "golden cache entry " << file_path
+                       << " is corrupt (" << parsed.status().message()
+                       << "); discarding and recomputing";
+      } else {
+        GFI_LOG(kWarn) << "golden cache entry " << file_path
+                       << " was written for a different campaign "
+                          "(filename-hash collision or stale key); "
+                          "recomputing";
       }
     }
   }

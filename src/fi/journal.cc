@@ -217,6 +217,15 @@ std::optional<BitFlipModel> flip_from_name(const std::string& name) {
   return std::nullopt;
 }
 
+std::optional<FaultPersistence> persist_from_name(const std::string& name) {
+  for (int p = static_cast<int>(FaultPersistence::kTransient);
+       p <= static_cast<int>(FaultPersistence::kStuckAt); ++p) {
+    const auto persist = static_cast<FaultPersistence>(p);
+    if (name == to_string(persist)) return persist;
+  }
+  return std::nullopt;
+}
+
 template <std::size_t N>
 bool copy_array(const Fields& fields, const char* key,
                 std::array<u64, N>* out) {
@@ -241,6 +250,8 @@ JournalHeader make_journal_header(const CampaignConfig& config,
   header.arch = config.machine.name;
   header.mode = to_string(config.model.mode);
   header.flip = to_string(config.model.flip);
+  header.persist = to_string(config.model.persistence);
+  header.max_retries = config.max_retries;
   if (config.group) header.group = sim::group_name(*config.group);
   header.fixed_bit = config.fixed_bit;
   header.seed = config.seed;
@@ -269,6 +280,13 @@ Status check_journal_compatible(const JournalHeader& header,
   if (header.arch != want.arch) return mismatch("arch", header.arch, want.arch);
   if (header.mode != want.mode) return mismatch("mode", header.mode, want.mode);
   if (header.flip != want.flip) return mismatch("flip", header.flip, want.flip);
+  if (header.persist != want.persist) {
+    return mismatch("persistence", header.persist, want.persist);
+  }
+  if (header.max_retries != want.max_retries) {
+    return mismatch("max_retries", std::to_string(header.max_retries),
+                    std::to_string(want.max_retries));
+  }
   if (header.group != want.group) {
     return mismatch("group", header.group.value_or("<all>"),
                     want.group.value_or("<all>"));
@@ -312,6 +330,8 @@ std::string Journal::header_line(const JournalHeader& header) {
   append_str(out, "arch", header.arch);
   append_str(out, "mode", header.mode);
   append_str(out, "flip", header.flip);
+  append_str(out, "persist", header.persist);
+  append_u64(out, "max_retries", header.max_retries);
   if (header.group) append_str(out, "group", *header.group);
   if (header.fixed_bit) append_u64(out, "fixed_bit", *header.fixed_bit);
   append_u64(out, "seed", header.seed);
@@ -360,6 +380,14 @@ Result<JournalHeader> Journal::parse_header(const std::string& line) {
   header.arch = *arch;
   header.mode = *mode;
   header.flip = *flip;
+  // Recovery fields are absent in journals written before recovery existed;
+  // those campaigns were all transient with no retry budget.
+  header.persist = get_str(fields, "persist").value_or("transient");
+  if (!persist_from_name(header.persist)) {
+    return bad_header("unknown persistence '" + header.persist + "'");
+  }
+  header.max_retries =
+      static_cast<u32>(get_u64(fields, "max_retries").value_or(0));
   header.group = get_str(fields, "group");
   if (header.group && !group_from_name(*header.group)) {
     return bad_header("unknown group '" + *header.group + "'");
@@ -390,6 +418,8 @@ std::string Journal::record_line(u64 index, const InjectionRecord& record) {
   std::string out = "{";
   append_u64(out, "i", index);
   append_str(out, "outcome", to_string(record.outcome));
+  append_str(out, "pre", to_string(record.pre_recovery));
+  append_u64(out, "att", record.attempts);
   append_str(out, "trap", sim::trap_kind_name(record.trap));
   append_f64(out, "err", record.error_magnitude);
   append_u64(out, "dyn", record.dyn_instrs);
@@ -450,6 +480,18 @@ Result<std::pair<u64, InjectionRecord>> Journal::parse_record(
   }
   record.outcome = *outcome_value;
   record.trap = *trap_value;
+  // Recovery fields: absent in pre-recovery journals, where no retries ran
+  // and the pre-recovery classification IS the outcome.
+  record.pre_recovery = record.outcome;
+  if (auto pre = get_str(fields, "pre")) {
+    auto pre_value = outcome_from_name(*pre);
+    if (!pre_value) {
+      return Status::invalid_argument(
+          "journal record: unknown pre-recovery outcome '" + *pre + "'");
+    }
+    record.pre_recovery = *pre_value;
+  }
+  record.attempts = static_cast<u32>(get_u64(fields, "att").value_or(1));
   record.error_magnitude = *err;
   record.dyn_instrs = *dyn;
   if (auto group = get_str(fields, "group")) {
@@ -507,7 +549,8 @@ Result<JournalContents> Journal::load(const std::string& path) {
                                   record.status().message());
         }
         const FaultModel model{*mode_from_name(contents.header.mode),
-                               *flip_from_name(contents.header.flip)};
+                               *flip_from_name(contents.header.flip),
+                               *persist_from_name(contents.header.persist)};
         auto [index, parsed] = std::move(record).take();
         parsed.site.model = model;
         contents.records.emplace_back(index, parsed);
@@ -592,7 +635,8 @@ Result<MergedCampaign> merge_journals(const std::vector<std::string>& paths) {
       const JournalHeader& h = contents.header;
       const JournalHeader& m = merged.header;
       if (h.workload != m.workload || h.arch != m.arch || h.mode != m.mode ||
-          h.flip != m.flip || h.group != m.group ||
+          h.flip != m.flip || h.persist != m.persist ||
+          h.max_retries != m.max_retries || h.group != m.group ||
           h.fixed_bit != m.fixed_bit || h.seed != m.seed ||
           h.num_injections != m.num_injections ||
           h.golden_dyn_instrs != m.golden_dyn_instrs) {

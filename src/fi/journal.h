@@ -35,6 +35,10 @@ struct JournalHeader {
   std::string arch;  ///< MachineConfig::name
   std::string mode;  ///< to_string(InjectionMode)
   std::string flip;  ///< to_string(BitFlipModel)
+  /// to_string(FaultPersistence). Absent in pre-recovery journals, which
+  /// were all transient — the parser defaults accordingly.
+  std::string persist = "transient";
+  u32 max_retries = 0;  ///< recovery budget (absent in old journals = 0)
   std::optional<std::string> group;  ///< instruction-group filter, if any
   std::optional<u32> fixed_bit;
   u64 seed = 0;

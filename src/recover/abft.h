@@ -1,0 +1,34 @@
+// Algorithm-based fault tolerance (ABFT) workload variants: the kernel
+// carries its own checksum and traps on mismatch, converting would-be SDCs
+// into DUEs that the retry executor can then recover (Huang & Abraham's
+// checksum GEMM, as revived for ML accelerators by MPGemmFI and the SDC
+// literature).
+//
+// Each variant recomputes its result's checksum a second, structurally
+// different way and compares in-kernel before the host ever consumes the
+// output; a mismatch raises a deliberate illegal-address trap (the same
+// containment idiom as harden/swift.h):
+//   gemm_abft    per-row output checksum vs dot(A-row, column-sums-of-B)
+//   reduce_abft  shared-memory tree sum vs shared atomic-add sum (exact)
+//   spmv_abft    per-CTA sum of y vs dot(per-CTA column sums of A, x)
+//
+// Coverage is the textbook ABFT envelope: faults that corrupt the output
+// past the checksum tolerance are caught; sub-tolerance numerical nudges
+// and faults that corrupt both checksum paths identically still escape.
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace gfi::recover {
+
+std::unique_ptr<wl::Workload> make_gemm_abft();
+std::unique_ptr<wl::Workload> make_reduce_abft();
+std::unique_ptr<wl::Workload> make_spmv_abft();
+
+/// Registers gemm_abft / reduce_abft / spmv_abft in the workload registry
+/// (idempotent), mirroring harden::register_hardened_workloads().
+void register_abft_workloads();
+
+}  // namespace gfi::recover

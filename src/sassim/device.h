@@ -50,6 +50,17 @@ class Device {
     return memory_.copy_to_host(host.data(), src, host.size_bytes());
   }
 
+  /// Checkpoint of the device's mutable state (global memory, allocation
+  /// table, pending upsets, ECC counters). The config is immutable, so a
+  /// snapshot + restore round-trip yields a device indistinguishable from
+  /// the one at snapshot time; kernels relaunched after restore() replay
+  /// bit-identically.
+  [[nodiscard]] GlobalMemory::Snapshot snapshot() const {
+    return memory_.snapshot();
+  }
+
+  void restore(const GlobalMemory::Snapshot& snap) { memory_.restore(snap); }
+
   /// Launches a kernel.
   Result<LaunchResult> launch(const Program& program, Dim3 grid, Dim3 block,
                               std::span<const u64> params,

@@ -54,6 +54,27 @@ class GlobalMemory {
   /// word containing byte address `addr`.
   void inject_fault(u64 addr, u32 flip_mask);
 
+  /// Full mutable state of the arena: allocation table (brk), backing bytes,
+  /// pending upsets, and ECC counters. Restoring a snapshot makes a relaunch
+  /// bit-identical to the original run (recover/retry.h builds on this).
+  struct Snapshot {
+    u64 brk = kBaseAddress;
+    std::vector<u8> data;
+    std::unordered_map<u64, u32> faults;
+    ecc::EccCounters counters;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    return Snapshot{brk_, data_, faults_, counters_};
+  }
+
+  void restore(const Snapshot& snap) {
+    brk_ = snap.brk;
+    data_ = snap.data;
+    faults_ = snap.faults;
+    counters_ = snap.counters;
+  }
+
   [[nodiscard]] std::size_t fault_count() const { return faults_.size(); }
   [[nodiscard]] const ecc::EccCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }

@@ -374,6 +374,41 @@ TEST(GoldenCache, DiskLayerRoundTripsGoldenRun) {
   cache.clear();
 }
 
+TEST(GoldenCache, CorruptDiskEntryIsDiscardedAndRecomputed) {
+  const fs::path dir = scratch_dir("golden_corrupt");
+  auto config = base_config("saxpy");
+  auto& cache = fi::GoldenCache::instance();
+  cache.clear();
+  cache.set_directory(dir.string());
+  auto first = cache.get_or_run(config);
+  ASSERT_TRUE(first.is_ok());
+
+  // Truncate the cached entry mid-file: a crashed writer or a bad disk.
+  fs::path entry;
+  for (const auto& file : fs::directory_iterator(dir)) entry = file.path();
+  ASSERT_FALSE(entry.empty());
+  const auto full_size = fs::file_size(entry);
+  fs::resize_file(entry, full_size / 2);
+
+  // A fresh lookup must not error and must not serve the mangled entry:
+  // the golden run is recomputed (a miss) and the result is unchanged.
+  cache.clear();
+  auto second = cache.get_or_run(config);
+  ASSERT_TRUE(second.is_ok()) << second.status().to_string();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(first.value().dyn_instrs, second.value().dyn_instrs);
+  EXPECT_EQ(first.value().cycles, second.value().cycles);
+
+  // The recompute rewrites the entry, so the next cold lookup hits disk.
+  EXPECT_GT(fs::file_size(entry), full_size / 2);
+  cache.clear();
+  ASSERT_TRUE(cache.get_or_run(config).is_ok());
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.set_directory("");
+  cache.clear();
+}
+
 TEST(GoldenCache, CampaignResumeReusesJournaledGolden) {
   // Campaign::run goes through the golden cache, so a shard pair in one
   // process profiles the workload exactly once.

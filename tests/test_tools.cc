@@ -1,5 +1,5 @@
-// Tests for the tooling layer: instruction tracer, XID mapping, and the
-// statistical comparison helpers.
+// Tests for the tooling layer: instruction tracer, XID mapping, the
+// statistical comparison helpers, and the strict CLI value parsers.
 #include <gtest/gtest.h>
 
 #include "analysis/compare.h"
@@ -7,6 +7,7 @@
 #include "sassim/tracer.h"
 #include "sassim/xid.h"
 #include "sim_test_util.h"
+#include "tools/cli_args.h"
 #include "workloads/workload.h"
 
 namespace gfi {
@@ -142,6 +143,53 @@ TEST(Compare, ComposedRateEmptyProfile) {
   sim::Profile profile;
   analysis::GroupRates rates;
   EXPECT_EQ(analysis::composed_rate(profile, rates), 0.0);
+}
+
+// ------------------------------------------------------------ cli_args --
+//
+// Campaign flag lines must be replayable verbatim, so a value either parses
+// completely or the flag is rejected — no strtoull "10k means 10" leniency.
+
+TEST(CliArgs, ParseU64AcceptsWholeStringsOnly) {
+  EXPECT_EQ(cli::parse_u64("0"), 0u);
+  EXPECT_EQ(cli::parse_u64("42"), 42u);
+  EXPECT_EQ(cli::parse_u64("18446744073709551615"), ~0ULL);
+  EXPECT_EQ(cli::parse_u64("0x1f", 0), 0x1fu);  // base 0: hex seeds
+
+  EXPECT_FALSE(cli::parse_u64(""));
+  EXPECT_FALSE(cli::parse_u64("10k"));
+  EXPECT_FALSE(cli::parse_u64("abc"));
+  EXPECT_FALSE(cli::parse_u64("-1"));
+  EXPECT_FALSE(cli::parse_u64("+5"));
+  EXPECT_FALSE(cli::parse_u64(" 7"));
+  EXPECT_FALSE(cli::parse_u64("18446744073709551616"));  // 2^64: ERANGE
+  EXPECT_FALSE(cli::parse_u64("0x1f"));  // hex needs base 0
+}
+
+TEST(CliArgs, ParseU32EnforcesRange) {
+  EXPECT_EQ(cli::parse_u32("4294967295"), 0xffffffffu);
+  EXPECT_FALSE(cli::parse_u32("4294967296"));
+  EXPECT_FALSE(cli::parse_u32("99999999999999"));
+  EXPECT_FALSE(cli::parse_u32("12x"));
+}
+
+TEST(CliArgs, ParseShardValidatesIndexAgainstCount) {
+  auto shard = cli::parse_shard("2/8");
+  ASSERT_TRUE(shard.has_value());
+  EXPECT_EQ(shard->index, 2u);
+  EXPECT_EQ(shard->count, 8u);
+  EXPECT_TRUE(cli::parse_shard("0/1").has_value());
+
+  EXPECT_FALSE(cli::parse_shard("3/2"));   // index >= count
+  EXPECT_FALSE(cli::parse_shard("2/2"));   // index == count
+  EXPECT_FALSE(cli::parse_shard("0/0"));   // zero shards
+  EXPECT_FALSE(cli::parse_shard("abc/2"));
+  EXPECT_FALSE(cli::parse_shard("1/x"));
+  EXPECT_FALSE(cli::parse_shard("12"));    // no slash
+  EXPECT_FALSE(cli::parse_shard("/4"));
+  EXPECT_FALSE(cli::parse_shard("1/"));
+  EXPECT_FALSE(cli::parse_shard("-1/4"));
+  EXPECT_FALSE(cli::parse_shard("1/4/2"));  // trailing garbage
 }
 
 }  // namespace

@@ -1,0 +1,66 @@
+// Strict command-line value parsers for the gpufi tools.
+//
+// The bare strtoull idiom silently accepts garbage ("--injections=10k" runs
+// 10 injections, "--seed=abc" becomes 0), which is poison for campaigns that
+// are supposed to be replayable from their flag line. These helpers accept a
+// value only if the ENTIRE string parses; anything else is a parse failure
+// the caller turns into a one-line error and a non-zero exit.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace gfi::cli {
+
+/// Parses an unsigned integer, requiring the whole string to be consumed.
+/// `base` follows strtoull: 10 for decimal flags, 0 to also accept 0x hex
+/// (seeds). Rejects empty strings, leading '-', trailing garbage, and
+/// out-of-range values.
+inline std::optional<u64> parse_u64(const std::string& text, int base = 10) {
+  // strtoull skips leading whitespace and accepts sign prefixes; neither
+  // belongs in a flag value.
+  if (text.empty() || text[0] == '-' || text[0] == '+' ||
+      std::isspace(static_cast<unsigned char>(text[0]))) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, base);
+  if (errno == ERANGE || end != text.c_str() + text.size()) {
+    return std::nullopt;
+  }
+  return static_cast<u64>(value);
+}
+
+/// parse_u64 restricted to the u32 range.
+inline std::optional<u32> parse_u32(const std::string& text, int base = 10) {
+  auto value = parse_u64(text, base);
+  if (!value || *value > 0xffffffffULL) return std::nullopt;
+  return static_cast<u32>(*value);
+}
+
+/// A validated "--shard=i/N" value: 0 <= index < count.
+struct Shard {
+  u32 index = 0;
+  u32 count = 1;
+};
+
+/// Parses "i/N". Rejects a missing slash, non-numeric pieces, N == 0, and
+/// i >= N.
+inline std::optional<Shard> parse_shard(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  auto index = parse_u32(text.substr(0, slash));
+  auto count = parse_u32(text.substr(slash + 1));
+  if (!index || !count || *count == 0 || *index >= *count) {
+    return std::nullopt;
+  }
+  return Shard{*index, *count};
+}
+
+}  // namespace gfi::cli

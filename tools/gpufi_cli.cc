@@ -32,6 +32,14 @@
 //   --golden-cache=<dir>     share golden (fault-free) runs across processes
 //   --watchdog=<n>           absolute per-injection watchdog budget
 //                            (dynamic warp instrs; default 3x golden + 10000)
+//
+// Recovery flags (campaign/compare):
+//   --recover=retry|abft     trap-and-retry relaunch; `abft` additionally
+//                            swaps in the ABFT-hardened "<workload>_abft"
+//                            kernel so SDCs become retryable traps
+//   --max-retries=<n>        relaunch budget (default 3 when --recover given)
+//   --persist=transient|stuck  whether retries see the fault again
+//                            (default transient)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,10 +50,13 @@
 #include "analysis/compare.h"
 #include "analysis/report.h"
 #include "arch/arch.h"
+#include "cli_args.h"
 #include "common/table.h"
 #include "fi/campaign.h"
 #include "fi/golden_cache.h"
 #include "fi/journal.h"
+#include "harden/swift.h"
+#include "recover/abft.h"
 #include "sassim/simulator.h"
 #include "sassim/tracer.h"
 #include "workloads/workload.h"
@@ -73,6 +84,9 @@ struct Options {
   std::optional<std::string> journal;
   std::optional<std::string> golden_cache;
   std::optional<u64> watchdog;
+  std::optional<std::string> recover;  ///< "retry" or "abft"
+  std::optional<u32> max_retries;
+  std::string persist = "transient";
 };
 
 int usage() {
@@ -115,19 +129,40 @@ std::optional<Options> parse(int argc, char** argv) {
       continue;
     }
     if (parse_flag(arg, "injections", &value)) {
-      options.injections = static_cast<std::size_t>(std::strtoull(
-          value.c_str(), nullptr, 10));
+      auto parsed = cli::parse_u64(value);
+      if (!parsed || *parsed == 0) {
+        std::fprintf(stderr, "bad --injections '%s' (want a positive integer)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.injections = static_cast<std::size_t>(*parsed);
       continue;
     }
     if (parse_flag(arg, "seed", &value)) {
-      options.seed = std::strtoull(value.c_str(), nullptr, 0);
+      auto parsed = cli::parse_u64(value, /*base=*/0);
+      if (!parsed) {
+        std::fprintf(stderr, "bad --seed '%s' (want an integer, 0x hex ok)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.seed = *parsed;
       continue;
     }
     if (parse_flag(arg, "bit", &value)) {
-      options.bit = static_cast<u32>(std::strtoul(value.c_str(), nullptr, 10));
+      auto parsed = cli::parse_u32(value);
+      if (!parsed) {
+        std::fprintf(stderr, "bad --bit '%s' (want a non-negative integer)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.bit = *parsed;
       continue;
     }
     if (parse_flag(arg, "ecc", &value)) {
+      if (value != "on" && value != "off") {
+        std::fprintf(stderr, "bad --ecc '%s' (want on|off)\n", value.c_str());
+        return std::nullopt;
+      }
       options.ecc_on = value == "on";
       continue;
     }
@@ -140,21 +175,15 @@ std::optional<Options> parse(int argc, char** argv) {
       continue;
     }
     if (parse_flag(arg, "shard", &value)) {
-      const std::size_t slash = value.find('/');
-      char* end = nullptr;
-      if (slash != std::string::npos) {
-        options.shard_index = static_cast<u32>(
-            std::strtoul(value.c_str(), &end, 10));
-        options.shard_count = static_cast<u32>(
-            std::strtoul(value.c_str() + slash + 1, &end, 10));
-      }
-      if (slash == std::string::npos || options.shard_count == 0 ||
-          options.shard_index >= options.shard_count) {
+      auto shard = cli::parse_shard(value);
+      if (!shard) {
         std::fprintf(stderr,
                      "bad --shard '%s' (want i/N with 0 <= i < N)\n",
                      value.c_str());
         return std::nullopt;
       }
+      options.shard_index = shard->index;
+      options.shard_count = shard->count;
       continue;
     }
     if (parse_flag(arg, "journal", &value)) {
@@ -166,7 +195,42 @@ std::optional<Options> parse(int argc, char** argv) {
       continue;
     }
     if (parse_flag(arg, "watchdog", &value)) {
-      options.watchdog = std::strtoull(value.c_str(), nullptr, 10);
+      auto parsed = cli::parse_u64(value);
+      if (!parsed) {
+        std::fprintf(stderr, "bad --watchdog '%s' (want an integer)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.watchdog = *parsed;
+      continue;
+    }
+    if (parse_flag(arg, "recover", &value)) {
+      if (value != "retry" && value != "abft") {
+        std::fprintf(stderr, "bad --recover '%s' (want retry|abft)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.recover = value;
+      continue;
+    }
+    if (parse_flag(arg, "max-retries", &value)) {
+      auto parsed = cli::parse_u32(value);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "bad --max-retries '%s' (want a non-negative integer)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.max_retries = *parsed;
+      continue;
+    }
+    if (parse_flag(arg, "persist", &value)) {
+      if (value != "transient" && value != "stuck") {
+        std::fprintf(stderr, "bad --persist '%s' (want transient|stuck)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.persist = value;
       continue;
     }
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -227,10 +291,24 @@ std::optional<fi::CampaignConfig> campaign_config(const Options& options) {
   auto mode = mode_for(options.mode);
   auto flip = flip_for(options.flip);
   if (!machine || !mode || !flip) return std::nullopt;
+  const fi::FaultPersistence persistence =
+      options.persist == "stuck" ? fi::FaultPersistence::kStuckAt
+                                 : fi::FaultPersistence::kTransient;
   fi::CampaignConfig config;
   config.workload = options.workload;
   config.machine = *machine;
-  config.model = {*mode, *flip};
+  config.model = {*mode, *flip, persistence};
+  if (options.recover) {
+    // Both strategies relaunch from checkpoint; `abft` additionally swaps in
+    // the checksum-carrying kernel so SDCs surface as retryable traps.
+    config.max_retries = options.max_retries.value_or(3);
+    if (*options.recover == "abft" &&
+        config.workload.rfind("_abft") == std::string::npos) {
+      config.workload += "_abft";
+    }
+  } else if (options.max_retries) {
+    config.max_retries = *options.max_retries;
+  }
   config.num_injections = options.injections;
   config.seed = options.seed;
   config.fixed_bit = options.bit;
@@ -317,6 +395,14 @@ int cmd_campaign(const Options& options) {
   std::printf("uncorrected failure rate (SDC+DUE+Hang): %s\n",
               Table::pct(analysis::uncorrected_failure_rate(result.value()))
                   .c_str());
+  if (config->max_retries > 0) {
+    Table recovery(std::string("Recovery (max ") +
+                   std::to_string(config->max_retries) + " retries, " +
+                   fi::to_string(config->model.persistence) + " faults)");
+    recovery.set_header(analysis::recovery_header());
+    recovery.add_row(analysis::recovery_row(config->workload, result.value()));
+    recovery.print();
+  }
   if (options.csv) (void)table.write_csv(*options.csv);
   if (options.records) {
     (void)analysis::write_records_csv(result.value(), *options.records);
@@ -426,6 +512,8 @@ int cmd_trace(const Options& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  gfi::harden::register_hardened_workloads();
+  gfi::recover::register_abft_workloads();
   auto options = parse(argc, argv);
   if (!options) return usage();
   if (options->command == "list") return cmd_list();
