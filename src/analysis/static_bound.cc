@@ -1,0 +1,25 @@
+#include "analysis/static_bound.h"
+
+namespace gfi::analysis {
+
+StaticBound static_masked_bound(const sa::PruneMap& map,
+                                fi::InjectionMode mode,
+                                std::optional<sim::InstrGroup> group) {
+  StaticBound bound;
+  for (int g = 0; g < sim::kInstrGroupCount; ++g) {
+    const auto instr_group = static_cast<sim::InstrGroup>(g);
+    if (!fi::mode_targets_group(mode, instr_group)) continue;
+    if (group && *group != instr_group) continue;
+    bound.eligible += map.occurrences[g];
+    for (const sa::PruneEntry& entry : map.entries[g]) {
+      if (entry.exec_mask == 0 || entry.cls == sa::SiteClass::kNoop) {
+        ++bound.inert;
+      } else if (entry.cls == sa::SiteClass::kDead) {
+        ++bound.dead;
+      }
+    }
+  }
+  return bound;
+}
+
+}  // namespace gfi::analysis

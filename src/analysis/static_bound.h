@@ -1,0 +1,45 @@
+// Experiment R-S1 arithmetic: static masked-fraction lower bound vs the
+// dynamically measured masked rate, from a workload's PruneMap.
+//
+// A uniformly sampled IOV/PRED site lands on a statically-dead destination
+// with probability dead/eligible; every such injection is Masked (the strike
+// footprint is never read), so
+//     static_masked_bound  <=  E[dynamic masked rate].
+// Inert sites (predicated-off or nothing to corrupt) classify NotActivated,
+// not Masked, and are reported separately.
+#pragma once
+
+#include "fi/fault_model.h"
+#include "sa/ace.h"
+
+namespace gfi::analysis {
+
+struct StaticBound {
+  /// Dynamic sites a uniform (mode, group-filter) sample can land on.
+  u64 eligible = 0;
+  /// Sites whose strike footprint is statically dead (provably Masked).
+  u64 dead = 0;
+  /// Sites the injector cannot activate: predicated off (exec_mask == 0)
+  /// or with nothing to corrupt (e.g. RZ-destination atomics).
+  u64 inert = 0;
+
+  /// Lower bound on the expected masked rate from dead sites alone.
+  [[nodiscard]] f64 masked_lower_bound() const {
+    return eligible == 0 ? 0.0
+                         : static_cast<f64>(dead) / static_cast<f64>(eligible);
+  }
+  /// Fraction of sampled injections the campaign can skip simulating.
+  [[nodiscard]] f64 prunable_fraction() const {
+    return eligible == 0
+               ? 0.0
+               : static_cast<f64>(dead + inert) / static_cast<f64>(eligible);
+  }
+};
+
+/// Aggregates `map` over the groups `mode` can target (optionally restricted
+/// to one group, mirroring CampaignConfig::group).
+StaticBound static_masked_bound(const sa::PruneMap& map,
+                                fi::InjectionMode mode,
+                                std::optional<sim::InstrGroup> group);
+
+}  // namespace gfi::analysis

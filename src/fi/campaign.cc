@@ -10,6 +10,7 @@
 #include "fi/golden_cache.h"
 #include "fi/journal.h"
 #include "recover/retry.h"
+#include "sa/ace.h"
 #include "sassim/device.h"
 #include "workloads/workload.h"
 
@@ -196,13 +197,67 @@ Result<Campaign::Golden> Campaign::golden_run(const CampaignConfig& config) {
   return golden;
 }
 
+namespace {
+
+/// Fills `record` for a prunable site without simulating, reproducing field
+/// by field what the launch would have recorded:
+///  - exec_mask == 0: the injector never activates (predicated-off site).
+///  - kNoop: the strike hits nothing corruptible (e.g. RZ-dst atomic);
+///    activated stays false.
+///  - kDead: the strike lands but its whole footprint is dead, so the run
+///    completes with fault-free output and the golden check verdict.
+void credit_pruned(const sa::PruneMap& map, const sa::PruneEntry& entry,
+                   u64 golden_dyn_instrs, InjectionRecord& record) {
+  record.effect.struck_dyn_index = entry.dyn_index;
+  record.effect.struck_opcode = entry.op;
+  record.effect.struck_group = *record.site.group;
+  record.attempts = 1;
+  record.dyn_instrs = golden_dyn_instrs;
+  record.trap = sim::TrapKind::kNone;
+  if (entry.exec_mask == 0) {
+    record.outcome = record.pre_recovery = Outcome::kNotActivated;
+    return;
+  }
+  record.effect.struck_lane =
+      InjectorHook::pick_lane(entry.exec_mask, record.site.lane_sel);
+  if (entry.cls == sa::SiteClass::kNoop) {
+    record.outcome = record.pre_recovery = Outcome::kNotActivated;
+    return;
+  }
+  record.effect.activated = true;
+  record.error_magnitude = map.golden_max_rel_err;
+  record.outcome = record.pre_recovery = map.golden_bitwise_equal
+                                             ? Outcome::kMasked
+                                             : Outcome::kMaskedTolerated;
+}
+
+}  // namespace
+
 Result<InjectionRecord> Campaign::run_single(const CampaignConfig& config,
                                              const sim::Profile& profile,
                                              u64 golden_dyn_instrs,
-                                             std::size_t run_index) {
+                                             std::size_t run_index,
+                                             const sa::PruneMap* prune_map,
+                                             bool* pruned_out) {
   Rng rng = Rng::for_stream(config.seed, run_index);
   auto site = sample_site(config, profile, golden_dyn_instrs, rng);
   if (!site.is_ok()) return site.status();
+
+  // Analytic fast path: nothing after sample_site consumes the RNG for
+  // IOV/PRED, so skipping the simulation cannot perturb any other record.
+  if (prune_map && site.value().group &&
+      (config.model.mode == InjectionMode::kIov ||
+       config.model.mode == InjectionMode::kPred)) {
+    const sa::PruneEntry* entry = prune_map->find(
+        *site.value().group, site.value().target_occurrence);
+    if (entry) {
+      InjectionRecord record;
+      record.site = site.value();
+      credit_pruned(*prune_map, *entry, golden_dyn_instrs, record);
+      if (pruned_out) *pruned_out = true;
+      return record;
+    }
+  }
 
   auto workload = wl::make_workload(config.workload);
   if (!workload) {
@@ -330,6 +385,38 @@ Result<InjectionRecord> Campaign::run_single(const CampaignConfig& config,
   return record;
 }
 
+Result<sa::PruneMap> Campaign::build_prune_map(const CampaignConfig& config) {
+  auto workload = wl::make_workload(config.workload);
+  if (!workload) {
+    return Status::not_found("unknown workload '" + config.workload + "'");
+  }
+  sim::Device device(config.machine);
+  auto spec = workload->setup(device);
+  if (!spec.is_ok()) return spec.status();
+
+  sa::PruneMap map;
+  map.analysis = sa::StaticSiteAnalysis::analyze(workload->program());
+  sa::SiteMapHook hook(map);
+  sim::LaunchOptions options;
+  options.hooks.push_back(&hook);
+  auto launch = device.launch(workload->program(), spec.value().grid,
+                              spec.value().block, spec.value().params, options);
+  if (!launch.is_ok()) return launch.status();
+  if (!launch.value().ok()) {
+    return Status::internal("prune-map run of '" + config.workload +
+                            "' trapped: " + launch.value().trap.to_string());
+  }
+  auto checked = workload->check(device);
+  if (!checked.is_ok()) return checked.status();
+  if (checked.value().trap != sim::TrapKind::kNone) {
+    return Status::internal("prune-map check of '" + config.workload +
+                            "' trapped");
+  }
+  map.golden_bitwise_equal = checked.value().result.bitwise_equal;
+  map.golden_max_rel_err = checked.value().result.max_rel_err;
+  return map;
+}
+
 Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
   if (config.num_injections == 0) {
     return Status::invalid_argument("num_injections must be > 0");
@@ -405,13 +492,29 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
     }
   }
 
+  // Static dead-site pruning: one instrumented fault-free launch maps every
+  // prunable (group, occurrence) site; workers then credit those records
+  // analytically instead of simulating them.
+  std::optional<sa::PruneMap> prune_map;
+  if (config.prune_dead_sites &&
+      (config.model.mode == InjectionMode::kIov ||
+       config.model.mode == InjectionMode::kPred)) {
+    auto map = build_prune_map(config);
+    if (!map.is_ok()) return map.status();
+    prune_map = std::move(map).take();
+  }
+
   std::vector<Status> errors(result.run_indices.size());
+  std::vector<u8> pruned_flags(result.run_indices.size(), 0);
   ThreadPool pool(config.threads);
   pool.parallel_for(result.run_indices.size(), [&](std::size_t slot) {
     if (done[slot]) return;
+    bool pruned = false;
     auto record = run_single(config, result.profile,
                              result.golden_dyn_instrs,
-                             result.run_indices[slot]);
+                             result.run_indices[slot],
+                             prune_map ? &*prune_map : nullptr, &pruned);
+    pruned_flags[slot] = pruned ? 1 : 0;
     if (record.is_ok()) {
       result.records[slot] = std::move(record).take();
       if (writer) {
@@ -425,6 +528,7 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
   for (const Status& status : errors) {
     if (!status.is_ok()) return status;
   }
+  for (u8 flag : pruned_flags) result.pruned += flag;
 
   for (const InjectionRecord& record : result.records) {
     ++result.outcome_counts[static_cast<int>(record.outcome)];

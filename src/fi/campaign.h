@@ -24,6 +24,10 @@
 #include "sassim/profiler.h"
 #include "sassim/trap.h"
 
+namespace gfi::sa {
+struct PruneMap;
+}  // namespace gfi::sa
+
 namespace gfi::fi {
 
 /// Classification of one injection run.
@@ -93,6 +97,14 @@ struct CampaignConfig {
   /// Whether the retry sees the fault again is model.persistence. SDCs are
   /// never retried — nothing detected them.
   u32 max_retries = 0;
+
+  // --- static pruning (sa/ace.h) -----------------------------------------
+  /// Skip simulating IOV/PRED sites whose strike footprint is statically
+  /// dead (or has nothing to corrupt): the record is credited analytically
+  /// with the outcome the simulation would have produced, so results stay
+  /// bit-identical to an unpruned campaign on the same seeds while the
+  /// pruned launches cost nothing. Ignored for other modes.
+  bool prune_dead_sites = false;
 };
 
 struct InjectionRecord {
@@ -120,6 +132,9 @@ struct CampaignResult {
   std::vector<u64> run_indices;
   /// How many of `records` were restored from the journal instead of run.
   std::size_t resumed = 0;
+  /// How many of `records` were credited analytically by dead-site pruning
+  /// instead of simulated (prune_dead_sites only).
+  u64 pruned = 0;
   std::array<u64, kOutcomeCount> outcome_counts{};
 
   [[nodiscard]] u64 count(Outcome outcome) const {
@@ -138,11 +153,21 @@ class Campaign {
 
   /// Replays a single injection (used by tests and for debugging): returns
   /// the record produced for global run index `i` of `config`. Sharding
-  /// never changes what a given index produces.
+  /// never changes what a given index produces. When `prune_map` is given
+  /// and the sampled site is prunable, the record is filled analytically
+  /// without simulating (and `*pruned_out` is set when provided) — the
+  /// record is field-identical to what the simulation would produce.
   static Result<InjectionRecord> run_single(const CampaignConfig& config,
                                             const sim::Profile& profile,
                                             u64 golden_dyn_instrs,
-                                            std::size_t run_index);
+                                            std::size_t run_index,
+                                            const sa::PruneMap* prune_map = nullptr,
+                                            bool* pruned_out = nullptr);
+
+  /// Builds the dynamic prune map for `config`'s workload: one fault-free
+  /// instrumented launch recording every prunable (group, occurrence) site,
+  /// plus the golden check outcome used to credit dead sites analytically.
+  static Result<sa::PruneMap> build_prune_map(const CampaignConfig& config);
 
   /// Phase-1 only: golden profile for a (workload, machine) pair.
   struct Golden {

@@ -53,10 +53,13 @@ class InjectorHook final : public sim::InstrumentHook {
 
   [[nodiscard]] const InjectionEffect& effect() const { return effect_; }
 
+  /// Picks the struck lane among the set bits of `exec_mask`. Public so the
+  /// campaign's analytic pruning path can reproduce the exact lane a
+  /// simulated strike would have hit.
+  [[nodiscard]] static u32 pick_lane(u32 exec_mask, u32 lane_sel);
+
  private:
   [[nodiscard]] bool is_target(const sim::InstrContext& ctx) const;
-  /// Picks the struck lane among the set bits of `exec_mask`.
-  [[nodiscard]] static u32 pick_lane(u32 exec_mask, u32 lane_sel);
 
   void strike_iov(sim::InstrContext& ctx);
   void strike_pred(sim::InstrContext& ctx);

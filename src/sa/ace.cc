@@ -1,0 +1,93 @@
+#include "sa/ace.h"
+
+#include <algorithm>
+
+namespace gfi::sa {
+
+using sim::def_use;
+using sim::DefUse;
+using sim::Instr;
+using sim::Opcode;
+
+StaticSiteAnalysis StaticSiteAnalysis::analyze(const sim::Program& program) {
+  StaticSiteAnalysis result;
+  const auto& code = program.code();
+  const u32 n = static_cast<u32>(code.size());
+  result.classes_.assign(n, SiteClass::kLive);
+  if (n == 0) return result;
+
+  const Cfg cfg = Cfg::build(program);
+  const Liveness live = Liveness::compute(program, cfg);
+
+  for (u32 pc = 0; pc < n; ++pc) {
+    const Instr& instr = code[pc];
+    if (!is_value_site_group(sim::instr_group(instr))) continue;
+
+    SiteClass cls = SiteClass::kLive;
+    if (instr.writes_pred()) {
+      if (instr.dst.is_pred() && instr.dst.index < sim::kPredT) {
+        cls = live.pred_live_out(pc, static_cast<u8>(instr.dst.index))
+                  ? SiteClass::kLive
+                  : SiteClass::kDead;
+      } else {
+        cls = SiteClass::kNoop;  // PT destination: set_pred drops the write
+      }
+    } else if (instr.op == Opcode::kHmma && instr.dst.is_reg() &&
+               instr.dst.index == sim::kRegZ) {
+      cls = SiteClass::kLive;  // never prune a degenerate RZ-fragment MMA
+    } else if ((instr.writes_reg() || instr.op == Opcode::kHmma) &&
+               instr.dst.is_reg()) {
+      const DefUse du = def_use(instr);
+      bool all_dead = !du.strike_regs.empty();
+      for (u16 r : du.strike_regs) {
+        if (r >= program.num_regs() || live.reg_live_out(pc, r)) {
+          all_dead = false;
+          break;
+        }
+      }
+      cls = all_dead ? SiteClass::kDead : SiteClass::kLive;
+    } else {
+      // Nothing for the injector to corrupt: RZ-destination ALU/atomic/
+      // load discards, ballot into RZ.
+      cls = SiteClass::kNoop;
+    }
+    result.classes_[pc] = cls;
+    if (cls == SiteClass::kDead) ++result.num_dead_pcs_;
+  }
+  return result;
+}
+
+const PruneEntry* PruneMap::find(sim::InstrGroup group, u64 occurrence) const {
+  const auto& list = entries[static_cast<int>(group)];
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), occurrence,
+      [](const PruneEntry& e, u64 occ) { return e.occurrence < occ; });
+  if (it == list.end() || it->occurrence != occurrence) return nullptr;
+  return &*it;
+}
+
+u64 PruneMap::num_prunable() const {
+  u64 total = 0;
+  for (const auto& list : entries) total += list.size();
+  return total;
+}
+
+void SiteMapHook::on_after_instr(sim::InstrContext& ctx) {
+  const u32 pc = static_cast<u32>(ctx.instr - code_);
+  const int group = static_cast<int>(ctx.group);
+  const u64 occurrence = map_->occurrences[group]++;
+  if (!is_value_site_group(ctx.group)) return;
+
+  const SiteClass cls = map_->analysis.site_class(pc);
+  if (cls == SiteClass::kLive && ctx.exec_mask != 0) return;
+  PruneEntry entry;
+  entry.occurrence = occurrence;
+  entry.dyn_index = ctx.dyn_index;
+  entry.pc = pc;
+  entry.exec_mask = ctx.exec_mask;
+  entry.op = ctx.instr->op;
+  entry.cls = cls;
+  map_->entries[group].push_back(entry);
+}
+
+}  // namespace gfi::sa

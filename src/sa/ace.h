@@ -1,0 +1,107 @@
+// ACE-style injection-site pruning (SASSIFI's "dead destination" class).
+//
+// A value-group injection site whose entire strike footprint is dead at the
+// strike point is provably Masked: the injector flips bits the program never
+// reads again, so the launch's architectural trace from that point on is
+// identical to the fault-free run. The campaign can skip the simulation and
+// credit the record analytically, keeping outcome tables bit-identical to an
+// unpruned run on the same seeds.
+//
+// The classification is static (per pc); the PruneMap adds the dynamic side:
+// which (group, occurrence) pairs — the coordinates the injector samples —
+// land on a prunable pc, recorded by replaying the fault-free launch once
+// with a SiteMapHook.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "sa/cfg.h"
+#include "sa/dataflow.h"
+#include "sassim/instrument.h"
+#include "sassim/program.h"
+
+namespace gfi::sa {
+
+/// Static classification of one pc as an IOV/PRED injection destination.
+enum class SiteClass : u8 {
+  kLive,  ///< strike may be read downstream — must be simulated
+  kDead,  ///< strike footprint fully dead — provably Masked
+  kNoop,  ///< injector has nothing to corrupt (e.g. RZ-dst atomic)
+};
+
+/// Groups whose sites the value-injection modes (IOV destination-value and
+/// PRED predicate-flip) can target: everything except Control and Store.
+/// Cross-checked against fi::mode_targets_group in tests.
+[[nodiscard]] inline bool is_value_site_group(sim::InstrGroup group) {
+  return group != sim::InstrGroup::kControl &&
+         group != sim::InstrGroup::kStore;
+}
+
+/// Per-pc site classes for a program, from liveness over the CFG.
+class StaticSiteAnalysis {
+ public:
+  static StaticSiteAnalysis analyze(const sim::Program& program);
+
+  [[nodiscard]] SiteClass site_class(u32 pc) const { return classes_[pc]; }
+  [[nodiscard]] std::size_t size() const { return classes_.size(); }
+  /// Static pcs classified kDead among value-group instructions.
+  [[nodiscard]] u32 num_dead_pcs() const { return num_dead_pcs_; }
+
+ private:
+  std::vector<SiteClass> classes_;
+  u32 num_dead_pcs_ = 0;
+};
+
+/// One prunable dynamic site, addressed the way the injector samples:
+/// the `occurrence`-th dynamic instruction of `group`.
+struct PruneEntry {
+  u64 occurrence = 0;  ///< per-group dynamic index (injector coordinates)
+  u64 dyn_index = 0;   ///< global dynamic warp-instruction counter
+  u32 pc = 0;
+  u32 exec_mask = 0;   ///< lanes that executed (0 = fully guarded off)
+  sim::Opcode op = sim::Opcode::kNop;
+  SiteClass cls = SiteClass::kLive;
+};
+
+/// Dynamic map of prunable sites for one (workload, arch) program, plus the
+/// fault-free check outcome needed to credit dead sites analytically. The
+/// golden check is against the CPU reference, so a dead strike reproduces
+/// exactly the golden comparison — not necessarily a bitwise match.
+struct PruneMap {
+  StaticSiteAnalysis analysis;
+  /// Per-group prunable entries, sorted by occurrence.
+  std::array<std::vector<PruneEntry>, sim::kInstrGroupCount> entries{};
+  /// Per-group total dynamic occurrences seen in the fault-free run.
+  std::array<u64, sim::kInstrGroupCount> occurrences{};
+  /// Fault-free check outcome (vs CPU reference) of the mapped launch.
+  bool golden_bitwise_equal = true;
+  f64 golden_max_rel_err = 0.0;
+
+  /// The prunable entry at (group, occurrence), or nullptr when that site
+  /// must be simulated.
+  [[nodiscard]] const PruneEntry* find(sim::InstrGroup group,
+                                       u64 occurrence) const;
+  /// Total prunable sites across groups.
+  [[nodiscard]] u64 num_prunable() const;
+};
+
+/// Instrumentation hook that records, during one fault-free launch, every
+/// value-group dynamic site whose pc is prunable. Counts occurrences in
+/// on_after_instr with the exact discipline of the injector's eligibility
+/// counter, so `PruneEntry::occurrence` aligns with sampled sites.
+class SiteMapHook : public sim::InstrumentHook {
+ public:
+  explicit SiteMapHook(PruneMap& map) : map_(&map) {}
+
+  void on_launch_begin(const sim::Program& program) override {
+    code_ = program.code().data();
+  }
+  void on_after_instr(sim::InstrContext& ctx) override;
+
+ private:
+  PruneMap* map_;
+  const sim::Instr* code_ = nullptr;
+};
+
+}  // namespace gfi::sa

@@ -1,0 +1,148 @@
+#include "sa/cfg.h"
+
+#include <algorithm>
+
+namespace gfi::sa {
+
+using sim::Instr;
+using sim::Opcode;
+
+std::vector<u32> instr_succs(const Instr& instr, u32 pc, u32 size) {
+  std::vector<u32> succs;
+  const bool has_fall = pc + 1 < size;
+  const bool unconditional =
+      instr.guard_pred == sim::kPredT && !instr.guard_negated;
+  const bool never = instr.guard_pred == sim::kPredT && instr.guard_negated;
+
+  switch (instr.op) {
+    case Opcode::kBra:
+      if (unconditional) {
+        succs.push_back(static_cast<u32>(instr.target));
+      } else if (never) {
+        if (has_fall) succs.push_back(pc + 1);
+      } else {
+        if (has_fall) succs.push_back(pc + 1);
+        succs.push_back(static_cast<u32>(instr.target));
+      }
+      break;
+    case Opcode::kExit:
+      if (!unconditional && has_fall) succs.push_back(pc + 1);
+      break;
+    default:
+      if (has_fall) succs.push_back(pc + 1);
+      break;
+  }
+  return succs;
+}
+
+Cfg Cfg::build(const sim::Program& program) {
+  Cfg cfg;
+  const auto& code = program.code();
+  const u32 n = static_cast<u32>(code.size());
+  if (n == 0) return cfg;
+
+  // Mark leaders.
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  for (u32 pc = 0; pc < n; ++pc) {
+    const Instr& instr = code[pc];
+    if ((instr.op == Opcode::kBra || instr.op == Opcode::kSsy) &&
+        instr.target >= 0 && static_cast<u32>(instr.target) < n) {
+      leader[static_cast<u32>(instr.target)] = true;
+    }
+    if (instr.is_control() && pc + 1 < n) leader[pc + 1] = true;
+  }
+
+  // Carve blocks.
+  cfg.block_of_.assign(n, 0);
+  for (u32 pc = 0; pc < n; ++pc) {
+    if (leader[pc]) {
+      BasicBlock block;
+      block.first = pc;
+      cfg.blocks_.push_back(block);
+    }
+    const u32 id = static_cast<u32>(cfg.blocks_.size()) - 1;
+    cfg.block_of_[pc] = id;
+    cfg.blocks_[id].last = pc;
+  }
+
+  // Wire edges from each block's terminator.
+  for (u32 id = 0; id < cfg.blocks_.size(); ++id) {
+    BasicBlock& block = cfg.blocks_[id];
+    for (u32 succ_pc : instr_succs(code[block.last], block.last, n)) {
+      const u32 succ_id = cfg.block_of_[succ_pc];
+      if (std::find(block.succs.begin(), block.succs.end(), succ_id) ==
+          block.succs.end()) {
+        block.succs.push_back(succ_id);
+      }
+    }
+  }
+  for (u32 id = 0; id < cfg.blocks_.size(); ++id) {
+    for (u32 succ : cfg.blocks_[id].succs) {
+      cfg.blocks_[succ].preds.push_back(id);
+    }
+  }
+
+  // Reachability from the entry block.
+  std::vector<u32> stack{0};
+  cfg.blocks_[0].reachable = true;
+  while (!stack.empty()) {
+    const u32 id = stack.back();
+    stack.pop_back();
+    for (u32 succ : cfg.blocks_[id].succs) {
+      if (!cfg.blocks_[succ].reachable) {
+        cfg.blocks_[succ].reachable = true;
+        stack.push_back(succ);
+      }
+    }
+  }
+  return cfg;
+}
+
+SsyDepth SsyDepth::compute(const sim::Program& program) {
+  SsyDepth result;
+  const auto& code = program.code();
+  const u32 n = static_cast<u32>(code.size());
+  result.at.assign(n, -1);
+  if (n == 0) return result;
+
+  std::vector<bool> mismatch_seen(n, false);
+  std::vector<u32> worklist{0};
+  result.at[0] = 0;
+  while (!worklist.empty()) {
+    const u32 pc = worklist.back();
+    worklist.pop_back();
+    const Instr& instr = code[pc];
+    int depth = result.at[pc];
+
+    if (instr.op == Opcode::kSsy) {
+      ++depth;
+    } else if (instr.op == Opcode::kSync) {
+      if (depth == 0) {
+        result.underflow_pcs.push_back(pc);
+      } else {
+        --depth;
+      }
+    } else if (instr.op == Opcode::kExit && instr.guard_pred == sim::kPredT &&
+               !instr.guard_negated && result.at[pc] > 0) {
+      result.exit_unbalanced_pcs.push_back(pc);
+    }
+
+    for (u32 succ : instr_succs(instr, pc, n)) {
+      if (result.at[succ] == -1) {
+        result.at[succ] = depth;
+        worklist.push_back(succ);
+      } else if (result.at[succ] != depth && !mismatch_seen[succ]) {
+        mismatch_seen[succ] = true;
+        result.mismatch_pcs.push_back(succ);
+      }
+    }
+  }
+  std::sort(result.underflow_pcs.begin(), result.underflow_pcs.end());
+  std::sort(result.mismatch_pcs.begin(), result.mismatch_pcs.end());
+  std::sort(result.exit_unbalanced_pcs.begin(),
+            result.exit_unbalanced_pcs.end());
+  return result;
+}
+
+}  // namespace gfi::sa

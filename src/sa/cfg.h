@@ -1,0 +1,71 @@
+// Control-flow graph over a linked sim::Program.
+//
+// Blocks are maximal straight-line instruction runs; edges follow the
+// simulator's per-lane semantics. Every dynamic path a single lane can take
+// through a kernel is a path in this graph (divergence only restricts which
+// lanes follow which edge), so any property proven over all CFG paths holds
+// for every lane of every launch.
+#pragma once
+
+#include <vector>
+
+#include "sassim/program.h"
+
+namespace gfi::sa {
+
+/// Static successors of the instruction at `pc` in a program of `size`
+/// instructions, per-lane view:
+///  - kBra unconditional (@PT)      -> {target}
+///  - kBra @!PT (never taken)       -> {fall}
+///  - kBra guarded                  -> {fall, target}
+///  - kExit unconditional           -> {}
+///  - kExit guarded                 -> {fall}
+///  - everything else (incl. kSsy, kSync, kBar) -> {fall}
+/// kSsy's `target` is not an edge: it names the reconvergence SYNC, which
+/// lanes reach by executing the instructions in between.
+std::vector<u32> instr_succs(const sim::Instr& instr, u32 pc, u32 size);
+
+struct BasicBlock {
+  u32 first = 0;            ///< pc of the first instruction
+  u32 last = 0;             ///< pc of the last instruction (inclusive)
+  std::vector<u32> succs;   ///< successor block ids
+  std::vector<u32> preds;   ///< predecessor block ids
+  bool reachable = false;   ///< reachable from the entry block
+};
+
+class Cfg {
+ public:
+  /// Builds the CFG. Leaders: pc 0, every kBra/kSsy target, and every
+  /// fall-through of a control instruction. An empty program yields an
+  /// empty CFG.
+  static Cfg build(const sim::Program& program);
+
+  [[nodiscard]] const std::vector<BasicBlock>& blocks() const {
+    return blocks_;
+  }
+  [[nodiscard]] u32 block_of(u32 pc) const { return block_of_[pc]; }
+  [[nodiscard]] std::size_t num_instrs() const { return block_of_.size(); }
+  [[nodiscard]] bool empty() const { return blocks_.empty(); }
+  [[nodiscard]] bool pc_reachable(u32 pc) const {
+    return blocks_[block_of_[pc]].reachable;
+  }
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::vector<u32> block_of_;  ///< pc -> owning block id
+};
+
+/// SSY/SYNC stack depth at the entry of each reachable instruction, from a
+/// forward propagation that counts kSsy as push and kSync as pop. Sound
+/// because every per-lane path is a CFG path; well-formed kernels have a
+/// single consistent depth at every join.
+struct SsyDepth {
+  std::vector<int> at;                  ///< entry depth per pc; -1 unreachable
+  std::vector<u32> underflow_pcs;       ///< kSync executed at depth 0
+  std::vector<u32> mismatch_pcs;        ///< join reached with differing depths
+  std::vector<u32> exit_unbalanced_pcs; ///< unconditional kExit at depth > 0
+
+  static SsyDepth compute(const sim::Program& program);
+};
+
+}  // namespace gfi::sa

@@ -1,0 +1,300 @@
+#include "sa/lint.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sa/ace.h"
+#include "sa/cfg.h"
+#include "sa/dataflow.h"
+#include "sassim/defuse.h"
+
+namespace gfi::sa {
+
+using sim::def_use;
+using sim::DefUse;
+using sim::Instr;
+using sim::Opcode;
+
+namespace {
+
+void add(LintReport& report, LintCheck check, Severity severity, u32 pc,
+         std::string message) {
+  report.findings.push_back(LintFinding{check, severity, pc, std::move(message)});
+}
+
+bool is_atomic(Opcode op) {
+  return op == Opcode::kAtomG || op == Opcode::kAtomS;
+}
+
+/// Constant value of `reg` at entry of `pc`, when every reaching definition
+/// is an unguarded 32-bit `MOV reg, imm` and the zero-init pseudo-def does
+/// not reach. Appends each possible value to `values`; returns false when
+/// the register is not provably constant.
+bool const_values(const sim::Program& program, const ReachingDefs& reaching,
+                  u32 pc, u16 reg, std::vector<u32>& values) {
+  if (reaching.reg_may_be_uninit(pc, reg)) return false;
+  const std::vector<u32> defs = reaching.reaching_defs(pc, reg);
+  if (defs.empty()) return false;
+  for (u32 def_pc : defs) {
+    const Instr& def = program.at(def_pc);
+    if (def.op != Opcode::kMov || !def.src[0].is_imm() ||
+        def.dtype == sim::DType::kU64 || def.dtype == sim::DType::kF64 ||
+        !def.dst.is_reg() || def.dst.index != reg) {
+      return false;
+    }
+    values.push_back(static_cast<u32>(def.src[0].imm));
+  }
+  return true;
+}
+
+void check_shared_bounds(const sim::Program& program, const Cfg& cfg,
+                         const ReachingDefs& reaching, LintReport& report) {
+  for (u32 pc = 0; pc < program.size(); ++pc) {
+    if (!cfg.pc_reachable(pc)) continue;
+    const Instr& instr = program.at(pc);
+    if (instr.op != Opcode::kLds && instr.op != Opcode::kSts &&
+        instr.op != Opcode::kAtomS) {
+      continue;
+    }
+    const u32 width =
+        instr.op == Opcode::kAtomS ? 4u : static_cast<u32>(instr.mem_width);
+    u64 offset = 0;
+    if (instr.op != Opcode::kAtomS && instr.src[1].is_imm()) {
+      offset = instr.src[1].imm;
+    }
+    std::vector<u32> bases;
+    if (instr.src[0].is_imm()) {
+      bases.push_back(static_cast<u32>(instr.src[0].imm));
+    } else if (instr.src[0].is_reg()) {
+      if (instr.src[0].index == sim::kRegZ) {
+        bases.push_back(0);
+      } else if (!const_values(program, reaching, pc, instr.src[0].index,
+                               bases)) {
+        continue;  // address not provably constant
+      }
+    } else {
+      continue;
+    }
+    for (u32 base : bases) {
+      const u64 end = static_cast<u64>(base) + offset + width;
+      if (end > program.shared_bytes()) {
+        std::ostringstream msg;
+        msg << sim::opcode_name(instr.op) << " accesses shared ["
+            << (base + offset) << ", " << end << ") beyond declared "
+            << program.shared_bytes() << " bytes";
+        add(report, LintCheck::kSharedOutOfBounds, Severity::kError, pc,
+            msg.str());
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LintReport lint(const sim::Program& program) {
+  LintReport report;
+  report.program = program.name();
+  const u32 n = static_cast<u32>(program.size());
+  if (n == 0) return report;
+
+  const Cfg cfg = Cfg::build(program);
+  const Liveness live = Liveness::compute(program, cfg);
+  const ReachingDefs reaching = ReachingDefs::compute(program, cfg);
+  const SsyDepth depth = SsyDepth::compute(program);
+
+  // Unreachable blocks.
+  for (const BasicBlock& block : cfg.blocks()) {
+    if (!block.reachable) {
+      add(report, LintCheck::kUnreachableCode, Severity::kWarning, block.first,
+          "block unreachable from kernel entry");
+    }
+  }
+
+  // SSY/SYNC structure.
+  for (u32 pc : depth.underflow_pcs) {
+    add(report, LintCheck::kSyncUnderflow, Severity::kError, pc,
+        "SYNC reachable with an empty SSY stack");
+  }
+  for (u32 pc : depth.mismatch_pcs) {
+    add(report, LintCheck::kSsySyncImbalance, Severity::kWarning, pc,
+        "paths join here with different SSY stack depths");
+  }
+  for (u32 pc : depth.exit_unbalanced_pcs) {
+    add(report, LintCheck::kSsySyncImbalance, Severity::kWarning, pc,
+        "unconditional EXIT inside an open SSY region");
+  }
+
+  for (u32 pc = 0; pc < n; ++pc) {
+    if (!cfg.pc_reachable(pc)) continue;
+    const Instr& instr = program.at(pc);
+    const DefUse du = def_use(instr);
+
+    // Reads of possibly never-defined registers / predicates. Registers are
+    // zero-initialised at launch, so this is a warning, not an error.
+    for (u16 r : du.src_regs) {
+      if (reaching.reg_may_be_uninit(pc, r)) {
+        std::ostringstream msg;
+        msg << "R" << r << " may be read before any definition";
+        add(report, LintCheck::kUninitRegRead, Severity::kWarning, pc,
+            msg.str());
+      }
+    }
+    for (u8 p = 0; p < sim::kPredT; ++p) {
+      if (((du.src_preds >> p) & 1u) && reaching.pred_may_be_uninit(pc, p)) {
+        std::ostringstream msg;
+        msg << "P" << static_cast<int>(p)
+            << " may be read before any definition";
+        add(report, LintCheck::kUninitPredRead, Severity::kWarning, pc,
+            msg.str());
+      }
+    }
+
+    // Discarded writes. Atomics with an RZ destination are the idiomatic
+    // "don't need the old value" form and are exempt.
+    if (instr.dst.is_reg() && instr.dst.index == sim::kRegZ &&
+        !instr.writes_pred() && !instr.is_control() && !instr.is_store() &&
+        !is_atomic(instr.op) && instr.op != Opcode::kNop) {
+      std::ostringstream msg;
+      msg << sim::opcode_name(instr.op) << " writes RZ; result is discarded";
+      add(report, LintCheck::kWriteToRZ, Severity::kWarning, pc, msg.str());
+    }
+    if (instr.writes_pred() && instr.dst.is_pred() &&
+        instr.dst.index >= sim::kPredT) {
+      add(report, LintCheck::kWriteToPT, Severity::kError, pc,
+          "PT is not writable; the predicate write is dropped");
+    }
+
+    // Barrier under divergence: a guard can mask lanes off the barrier, and
+    // inside an SSY region only the taken-path lanes arrive — both hang the
+    // CTA on real hardware.
+    if (instr.op == Opcode::kBar) {
+      if (sim::is_guarded(instr)) {
+        add(report, LintCheck::kDivergentBarrier, Severity::kWarning, pc,
+            "BAR under a guard predicate: masked lanes never arrive");
+      } else if (depth.at[pc] > 0) {
+        std::ostringstream msg;
+        msg << "BAR inside an open SSY region (depth " << depth.at[pc]
+            << "): divergent lanes may never arrive";
+        add(report, LintCheck::kDivergentBarrier, Severity::kWarning, pc,
+            msg.str());
+      }
+    }
+
+    // Dead values: side-effect-free result never read on any path. These
+    // are exactly the sites the ACE pruning pass skips.
+    if (instr.writes_reg() && !instr.is_memory()) {
+      bool all_dead = !du.dst_regs.empty();
+      for (u16 r : du.dst_regs) {
+        if (live.reg_live_out(pc, r)) {
+          all_dead = false;
+          break;
+        }
+      }
+      if (all_dead) {
+        std::ostringstream msg;
+        msg << "result of " << sim::opcode_name(instr.op)
+            << " is never read (statically dead)";
+        add(report, LintCheck::kDeadValue, Severity::kInfo, pc, msg.str());
+      }
+    }
+    if (instr.writes_pred() && instr.dst.is_pred() &&
+        instr.dst.index < sim::kPredT &&
+        !live.pred_live_out(pc, static_cast<u8>(instr.dst.index))) {
+      std::ostringstream msg;
+      msg << "P" << static_cast<int>(instr.dst.index)
+          << " set by " << sim::opcode_name(instr.op)
+          << " is never read (statically dead)";
+      add(report, LintCheck::kDeadValue, Severity::kInfo, pc, msg.str());
+    }
+  }
+
+  check_shared_bounds(program, cfg, reaching, report);
+
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const LintFinding& a, const LintFinding& b) {
+                     if (a.pc != b.pc) return a.pc < b.pc;
+                     return static_cast<int>(a.check) <
+                            static_cast<int>(b.check);
+                   });
+  return report;
+}
+
+int LintReport::count(Severity severity) const {
+  int total = 0;
+  for (const LintFinding& finding : findings) {
+    if (finding.severity == severity) ++total;
+  }
+  return total;
+}
+
+int LintReport::count(LintCheck check) const {
+  int total = 0;
+  for (const LintFinding& finding : findings) {
+    if (finding.check == check) ++total;
+  }
+  return total;
+}
+
+const char* check_name(LintCheck check) {
+  switch (check) {
+    case LintCheck::kUninitRegRead:     return "uninit-reg-read";
+    case LintCheck::kUninitPredRead:    return "uninit-pred-read";
+    case LintCheck::kWriteToRZ:         return "write-to-rz";
+    case LintCheck::kWriteToPT:         return "write-to-pt";
+    case LintCheck::kSyncUnderflow:     return "sync-underflow";
+    case LintCheck::kSsySyncImbalance:  return "ssy-sync-imbalance";
+    case LintCheck::kDivergentBarrier:  return "divergent-barrier";
+    case LintCheck::kSharedOutOfBounds: return "shared-out-of-bounds";
+    case LintCheck::kUnreachableCode:   return "unreachable-code";
+    case LintCheck::kDeadValue:         return "dead-value";
+  }
+  return "unknown";
+}
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:    return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError:   return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void json_escape(std::ostream& out, const std::string& text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (c == '\n') {
+      out << "\\n";
+    } else {
+      out << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_json(const LintReport& report) {
+  std::ostringstream out;
+  out << "{\"program\": \"";
+  json_escape(out, report.program);
+  out << "\", \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const LintFinding& f = report.findings[i];
+    if (i > 0) out << ", ";
+    out << "{\"pc\": " << f.pc << ", \"check\": \"" << check_name(f.check)
+        << "\", \"severity\": \"" << severity_name(f.severity)
+        << "\", \"message\": \"";
+    json_escape(out, f.message);
+    out << "\"}";
+  }
+  out << "], \"errors\": " << report.count(Severity::kError)
+      << ", \"warnings\": " << report.count(Severity::kWarning)
+      << ", \"infos\": " << report.count(Severity::kInfo) << "}";
+  return out.str();
+}
+
+}  // namespace gfi::sa

@@ -1,0 +1,57 @@
+// Kernel verifier: static checks over a linked program, each finding tied
+// to an instruction index with a severity and a one-line message.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sassim/program.h"
+
+namespace gfi::sa {
+
+enum class Severity : u8 { kInfo, kWarning, kError };
+
+enum class LintCheck : u8 {
+  kUninitRegRead,     ///< register may be read before any definition
+  kUninitPredRead,    ///< predicate may be read before any definition
+  kWriteToRZ,         ///< non-atomic write to RZ is always discarded
+  kWriteToPT,         ///< PT is not writable; the write is dropped
+  kSyncUnderflow,     ///< kSync reachable with an empty SSY stack
+  kSsySyncImbalance,  ///< inconsistent SSY depth at a join / unbalanced exit
+  kDivergentBarrier,  ///< kBar under a guard or inside an SSY region
+  kSharedOutOfBounds, ///< constant shared address beyond shared_bytes
+  kUnreachableCode,   ///< block unreachable from the entry
+  kDeadValue,         ///< side-effect-free result never read (prunable)
+};
+
+struct LintFinding {
+  LintCheck check = LintCheck::kUninitRegRead;
+  Severity severity = Severity::kWarning;
+  u32 pc = 0;
+  std::string message;
+};
+
+struct LintReport {
+  std::string program;  ///< program name the findings refer to
+  std::vector<LintFinding> findings;
+
+  [[nodiscard]] int count(Severity severity) const;
+  [[nodiscard]] int count(LintCheck check) const;
+  [[nodiscard]] bool has_errors() const {
+    return count(Severity::kError) > 0;
+  }
+};
+
+/// Runs every check over `program` (assumed linked: branch targets
+/// resolved). Findings are sorted by pc, then check.
+LintReport lint(const sim::Program& program);
+
+const char* check_name(LintCheck check);
+const char* severity_name(Severity severity);
+
+/// Machine-readable serialisation for `gpufi lint --json`:
+/// {"program": ..., "findings": [{"pc", "check", "severity", "message"}],
+///  "errors": N, "warnings": N, "infos": N}
+std::string to_json(const LintReport& report);
+
+}  // namespace gfi::sa

@@ -1,0 +1,223 @@
+#include "sassim/defuse.h"
+
+namespace gfi::sim {
+namespace {
+
+bool wide(DType dtype) { return dtype == DType::kU64 || dtype == DType::kF64; }
+
+/// A source read through Engine::read_operand: registers read at the given
+/// dtype width, predicate operands read as 0/1.
+void use_operand(DefUse& du, const Operand& operand, DType dtype) {
+  switch (operand.kind) {
+    case OperandKind::kReg:
+      du.src_regs.add_span(operand.index, wide(dtype) ? 2 : 1);
+      break;
+    case OperandKind::kPred:
+      if (operand.index != kPredT) {
+        du.src_preds |= static_cast<u8>(1u << operand.index);
+      }
+      break;
+    case OperandKind::kImm:
+    case OperandKind::kNone:
+      break;
+  }
+}
+
+/// A source the executor reads via warp.reg()/reg64() with the operand's
+/// index directly (store data, shuffle source, MMA fragments).
+void use_reg_direct(DefUse& du, const Operand& operand, u16 span) {
+  if (operand.is_reg()) du.src_regs.add_span(operand.index, span);
+}
+
+/// A destination written through Engine::write_dst (width follows dtype).
+void def_dst(DefUse& du, const Instr& instr, u16 span) {
+  if (instr.dst.is_reg()) du.dst_regs.add_span(instr.dst.index, span);
+}
+
+}  // namespace
+
+DefUse def_use(const Instr& instr) {
+  DefUse du;
+  // The guard predicate is evaluated per lane for every instruction.
+  if (instr.guard_pred != kPredT) {
+    du.src_preds |= static_cast<u8>(1u << instr.guard_pred);
+  }
+  const u16 dst_w = wide(instr.dtype) ? 2 : 1;
+
+  switch (instr.op) {
+    case Opcode::kNop:
+    case Opcode::kExit:
+    case Opcode::kBra:
+    case Opcode::kSsy:
+    case Opcode::kSync:
+    case Opcode::kBar:
+      break;
+
+    case Opcode::kMov:
+      use_operand(du, instr.src[0], instr.dtype);
+      def_dst(du, instr, dst_w);
+      break;
+
+    case Opcode::kSel:
+      use_operand(du, instr.src[0], instr.dtype);
+      use_operand(du, instr.src[1], instr.dtype);
+      use_operand(du, instr.src[2], DType::kU32);  // selector: pred or reg
+      def_dst(du, instr, dst_w);
+      break;
+
+    case Opcode::kS2r:
+      def_dst(du, instr, 1);
+      break;
+
+    case Opcode::kLdc:
+      def_dst(du, instr, dst_w);  // src0 is an immediate parameter index
+      break;
+
+    case Opcode::kIAdd:
+    case Opcode::kIMul:
+    case Opcode::kIMnmx:
+    case Opcode::kLop:
+      use_operand(du, instr.src[0], instr.dtype);
+      use_operand(du, instr.src[1], instr.dtype);
+      def_dst(du, instr, dst_w);
+      break;
+
+    case Opcode::kIMad:
+      if (instr.dtype == DType::kU64) {
+        // IMAD.WIDE: 32-bit factors, 64-bit accumulator.
+        use_operand(du, instr.src[0], DType::kU32);
+        use_operand(du, instr.src[1], DType::kU32);
+        use_operand(du, instr.src[2], DType::kU64);
+      } else {
+        use_operand(du, instr.src[0], instr.dtype);
+        use_operand(du, instr.src[1], instr.dtype);
+        use_operand(du, instr.src[2], instr.dtype);
+      }
+      def_dst(du, instr, dst_w);
+      break;
+
+    case Opcode::kISetp:
+    case Opcode::kFSetp:
+      use_operand(du, instr.src[0], instr.dtype);
+      use_operand(du, instr.src[1], instr.dtype);
+      break;  // predicate destination handled below
+
+    case Opcode::kShf:
+      use_operand(du, instr.src[0], instr.dtype);
+      use_operand(du, instr.src[1], DType::kU32);
+      def_dst(du, instr, dst_w);
+      break;
+
+    case Opcode::kPopc:
+      use_operand(du, instr.src[0], instr.dtype);
+      def_dst(du, instr, dst_w);
+      break;
+
+    case Opcode::kFAdd:
+    case Opcode::kFMul:
+    case Opcode::kFMnmx:
+      use_operand(du, instr.src[0], instr.dtype);
+      use_operand(du, instr.src[1], instr.dtype);
+      def_dst(du, instr, dst_w);
+      break;
+
+    case Opcode::kFFma:
+      use_operand(du, instr.src[0], instr.dtype);
+      use_operand(du, instr.src[1], instr.dtype);
+      use_operand(du, instr.src[2], instr.dtype);
+      def_dst(du, instr, dst_w);
+      break;
+
+    case Opcode::kMufu:
+      use_operand(du, instr.src[0], DType::kF32);
+      def_dst(du, instr, dst_w);
+      break;
+
+    case Opcode::kF2I:
+      use_operand(du, instr.src[0], instr.dtype);
+      def_dst(du, instr, 1);  // executor writes via set_reg regardless of dtype
+      break;
+
+    case Opcode::kI2F:
+      use_operand(du, instr.src[0], DType::kS32);
+      def_dst(du, instr, dst_w);
+      break;
+
+    case Opcode::kF2F:
+      // dtype names the destination: F64 widens from F32, F32 narrows.
+      if (instr.dtype == DType::kF64) {
+        use_operand(du, instr.src[0], DType::kF32);
+        def_dst(du, instr, 2);
+      } else {
+        use_operand(du, instr.src[0], DType::kF64);
+        def_dst(du, instr, 1);
+      }
+      break;
+
+    case Opcode::kLdg:
+      use_operand(du, instr.src[0], DType::kU64);  // address pair
+      def_dst(du, instr, instr.mem_width == 8 ? 2 : 1);
+      break;
+
+    case Opcode::kStg:
+      use_operand(du, instr.src[0], DType::kU64);
+      use_reg_direct(du, instr.src[2], instr.mem_width == 8 ? 2 : 1);
+      break;
+
+    case Opcode::kLds:
+      use_operand(du, instr.src[0], DType::kU32);
+      def_dst(du, instr, instr.mem_width == 8 ? 2 : 1);
+      break;
+
+    case Opcode::kSts:
+      use_operand(du, instr.src[0], DType::kU32);
+      use_reg_direct(du, instr.src[2], instr.mem_width == 8 ? 2 : 1);
+      break;
+
+    case Opcode::kAtomG:
+    case Opcode::kAtomS:
+      use_operand(du, instr.src[0],
+                  instr.op == Opcode::kAtomG ? DType::kU64 : DType::kU32);
+      use_operand(du, instr.src[1], instr.dtype);
+      if (static_cast<AtomKind>(instr.sub) == AtomKind::kCas) {
+        use_operand(du, instr.src[2], instr.dtype);
+      }
+      def_dst(du, instr, 1);  // old value, only when dst is a real register
+      break;
+
+    case Opcode::kShfl:
+      use_reg_direct(du, instr.src[0], 1);  // gathered across all lanes
+      use_operand(du, instr.src[1], DType::kU32);
+      def_dst(du, instr, 1);
+      break;
+
+    case Opcode::kVote:
+      use_operand(du, instr.src[0], DType::kU32);  // usually a predicate
+      if (static_cast<VoteKind>(instr.sub) == VoteKind::kBallot) {
+        def_dst(du, instr, 1);
+      }
+      break;
+
+    case Opcode::kHmma:
+      use_reg_direct(du, instr.src[0], 4);  // A fragment
+      use_reg_direct(du, instr.src[1], 2);  // B fragment
+      use_reg_direct(du, instr.src[2], 4);  // C fragment
+      def_dst(du, instr, 4);
+      break;
+  }
+
+  if (instr.writes_pred() && instr.dst.is_pred() && instr.dst.index < kPredT) {
+    du.dst_preds |= static_cast<u8>(1u << instr.dst.index);
+  }
+  // Injector footprint: strike_iov corrupts the full dst_reg_span() of any
+  // register-writing instruction (and HMMA), whether or not the executor
+  // wrote every register in it.
+  if (!instr.writes_pred() &&
+      (instr.writes_reg() || instr.op == Opcode::kHmma) && instr.dst.is_reg() &&
+      instr.dst.index != kRegZ) {
+    du.strike_regs.add_span(instr.dst.index, instr.dst_reg_span());
+  }
+  return du;
+}
+
+}  // namespace gfi::sim

@@ -1,0 +1,69 @@
+// Static def/use introspection over single instructions.
+//
+// `def_use` mirrors simulator.cc's executor operand-by-operand: which
+// registers/predicates an instruction reads, which it writes, and — as a
+// separate set — which registers the IOV fault injector would corrupt at
+// that instruction (injector.cc strikes the full `dst_reg_span()` footprint,
+// which can exceed the exact written set, e.g. F2I.F64 writes one register
+// but spans two). The static-analysis library (src/sa) builds its CFG and
+// dataflow passes on top of these footprints, so any divergence from the
+// executor here silently breaks liveness and dead-site pruning; keep the
+// two in lockstep.
+#pragma once
+
+#include "sassim/isa.h"
+
+namespace gfi::sim {
+
+/// Small fixed-capacity set of register indices. Worst case is HMMA's
+/// 4+2+4 source fragment registers. RZ is never stored: it reads as zero
+/// and discards writes, so it is neither a use nor a def.
+struct RegList {
+  static constexpr int kCapacity = 12;
+  u16 regs[kCapacity] = {};
+  int count = 0;
+
+  void add(u16 r) {
+    if (r == kRegZ) return;
+    for (int i = 0; i < count; ++i) {
+      if (regs[i] == r) return;
+    }
+    if (count < kCapacity) regs[count++] = r;
+  }
+  void add_span(u16 base, u16 span) {
+    for (u16 s = 0; s < span; ++s) add(static_cast<u16>(base + s));
+  }
+  [[nodiscard]] bool contains(u16 r) const {
+    for (int i = 0; i < count; ++i) {
+      if (regs[i] == r) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] const u16* begin() const { return regs; }
+  [[nodiscard]] const u16* end() const { return regs + count; }
+  [[nodiscard]] bool empty() const { return count == 0; }
+};
+
+/// Exact architectural footprint of one static instruction.
+struct DefUse {
+  RegList src_regs;     ///< registers the executor reads
+  RegList dst_regs;     ///< registers the executor writes
+  /// Registers the IOV injector corrupts after this instruction executes
+  /// (injector.cc strike_iov): [dst, dst + dst_reg_span()). Empty for
+  /// predicate writers, stores, control flow, and RZ destinations.
+  RegList strike_regs;
+  u8 src_preds = 0;     ///< bitmask of predicates read (guard included)
+  u8 dst_preds = 0;     ///< bitmask of predicates written (PT writes drop)
+};
+
+/// Computes the def/use footprint of `instr`, mirroring the executor.
+[[nodiscard]] DefUse def_use(const Instr& instr);
+
+/// True when the instruction can be predicated off for some lanes — its
+/// writes must not count as liveness kills (a masked lane's register
+/// survives the instruction untouched).
+[[nodiscard]] inline bool is_guarded(const Instr& instr) {
+  return instr.guard_pred != kPredT || instr.guard_negated;
+}
+
+}  // namespace gfi::sim

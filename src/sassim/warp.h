@@ -65,10 +65,13 @@ class WarpState {
     regs_[index_of(lane, r)] = value;
   }
   [[nodiscard]] u64 reg64(u32 lane, u16 r) const {
+    // RZ as a pair base reads (RZ, RZ): the upper half must not alias
+    // register kRegZ + 1, which is out of the register file entirely.
     if (r == kRegZ) return 0;
     return make64(reg(lane, r), reg(lane, static_cast<u16>(r + 1)));
   }
   void set_reg64(u32 lane, u16 r, u64 value) {
+    if (r == kRegZ) return;
     set_reg(lane, r, lo32(value));
     set_reg(lane, static_cast<u16>(r + 1), hi32(value));
   }

@@ -73,6 +73,10 @@ class Scan final : public Workload {
     b.imad_wide(10, Operand::reg(0), Operand::imm_u(4), Operand::reg(6));
     b.ldg(16, 10);                                        // running value
     b.shf(ShiftKind::kLeft, 17, Operand::reg(3), Operand::imm_u(2));
+    // R18 (the neighbour value) is loaded and consumed under the same @P0
+    // guard each step; a path-insensitive analysis cannot correlate the two
+    // guards, so define it up front (zero matches the launch-time state).
+    b.mov_u32(18, Operand::imm_u(0));
     b.sts(17, 16);
     b.bar();
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "fi/injector.h"
+#include "sassim/warp.h"
 #include "sim_test_util.h"
 
 namespace gfi {
@@ -249,6 +250,19 @@ TEST(ExecEdge, StackedDivergenceWithLoopInside) {
   for (u32 lane = 0; lane < 32; ++lane) {
     EXPECT_EQ(out[lane], lane < 16 ? (lane & 3) + 1 : 0u) << lane;
   }
+}
+
+// RZ as a 64-bit pair base must not touch the register file at all: the
+// upper half would alias register kRegZ + 1, one past the file's end.
+TEST(ExecEdge, RegisterZeroPairAccessesAreInert) {
+  sim::WarpState warp(0, 4, 0xFFFFFFFFu);
+  warp.set_reg(0, 3, 0x1234u);
+  warp.set_reg64(0, sim::kRegZ, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(warp.reg64(0, sim::kRegZ), 0u);
+  warp.set_reg(0, sim::kRegZ, 7u);
+  EXPECT_EQ(warp.reg(0, sim::kRegZ), 0u);
+  // Neighbouring architected state is untouched.
+  EXPECT_EQ(warp.reg(0, 3), 0x1234u);
 }
 
 }  // namespace

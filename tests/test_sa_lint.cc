@@ -1,0 +1,202 @@
+// Kernel linter: per-check unit kernels plus the golden sweep over every
+// built-in workload (the suite must stay lint-clean at warning level; the
+// SWIFT variants' intentional dead detector values are info-only).
+#include <gtest/gtest.h>
+
+#include "harden/swift.h"
+#include "sa/lint.h"
+#include "sassim/kernel_builder.h"
+#include "workloads/workload.h"
+
+namespace gfi {
+namespace {
+
+using sim::CmpOp;
+using sim::Instr;
+using sim::KernelBuilder;
+using sim::Opcode;
+using sim::Operand;
+using sim::Program;
+
+Program must_build(KernelBuilder& b) {
+  auto program = b.build();
+  EXPECT_TRUE(program.is_ok()) << program.status().to_string();
+  return std::move(program).take();
+}
+
+// ------------------------------------------------------------ unit checks --
+
+TEST(SaLint, CleanKernelHasNoFindings) {
+  KernelBuilder b("clean");
+  b.ldc_u64(2, 0);
+  b.s2r(4, sim::SpecialReg::kLaneId);
+  b.imad_wide(6, Operand::reg(4), Operand::imm_u(4), Operand::reg(2));
+  b.ldg(8, 6);
+  b.iadd_u32(8, Operand::reg(8), Operand::imm_u(1));
+  b.stg(6, 8);
+  b.exit_();
+  const auto report = sa::lint(must_build(b));
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(SaLint, FlagsUninitRegisterRead) {
+  KernelBuilder b("uninit_reg");
+  b.ldc_u64(2, 0);
+  b.stg(2, 9);  // R9 never defined
+  b.exit_();
+  const auto report = sa::lint(must_build(b));
+  ASSERT_GE(report.count(sa::LintCheck::kUninitRegRead), 1);
+  for (const auto& finding : report.findings) {
+    if (finding.check != sa::LintCheck::kUninitRegRead) continue;
+    EXPECT_EQ(finding.pc, 1u);
+    EXPECT_EQ(finding.severity, sa::Severity::kWarning);
+    EXPECT_NE(finding.message.find("R9"), std::string::npos);
+  }
+}
+
+TEST(SaLint, FlagsUninitPredicateRead) {
+  KernelBuilder b("uninit_pred");
+  b.mov_u32(2, Operand::imm_u(1));
+  b.guard_last(3);  // @P3 never set
+  b.ldc_u64(4, 0);
+  b.stg(4, 2);
+  b.exit_();
+  const auto report = sa::lint(must_build(b));
+  EXPECT_GE(report.count(sa::LintCheck::kUninitPredRead), 1);
+}
+
+TEST(SaLint, FlagsWritesToRZAndPT) {
+  // The builder refuses these, so link the program by hand.
+  Instr mov_rz;
+  mov_rz.op = Opcode::kMov;
+  mov_rz.dst = Operand::reg(sim::kRegZ);
+  mov_rz.src[0] = Operand::imm_u(1);
+  Instr setp_pt;
+  setp_pt.op = Opcode::kISetp;
+  setp_pt.dst = Operand::pred(sim::kPredT);
+  setp_pt.src[0] = Operand::imm_u(0);
+  setp_pt.src[1] = Operand::imm_u(1);
+  Instr exit_i;
+  exit_i.op = Opcode::kExit;
+  const Program program("rz_pt", {mov_rz, setp_pt, exit_i}, 0, 0, 0);
+
+  const auto report = sa::lint(program);
+  EXPECT_EQ(report.count(sa::LintCheck::kWriteToRZ), 1);
+  EXPECT_EQ(report.count(sa::LintCheck::kWriteToPT), 1);
+  EXPECT_TRUE(report.has_errors());  // the PT write is an error
+}
+
+TEST(SaLint, FlagsSyncUnderflow) {
+  Instr sync;
+  sync.op = Opcode::kSync;
+  Instr exit_i;
+  exit_i.op = Opcode::kExit;
+  const Program program("bad_sync", {sync, exit_i}, 0, 0, 0);
+
+  const auto report = sa::lint(program);
+  EXPECT_EQ(report.count(sa::LintCheck::kSyncUnderflow), 1);
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(SaLint, FlagsDivergentBarrier) {
+  KernelBuilder b("div_bar");
+  b.s2r(0, sim::SpecialReg::kLaneId);
+  b.isetp(CmpOp::kLt, 0, Operand::reg(0), Operand::imm_u(16));
+  b.if_then(0, false, [&] { b.bar(); });
+  b.exit_();
+  const auto report = sa::lint(must_build(b));
+  EXPECT_GE(report.count(sa::LintCheck::kDivergentBarrier), 1);
+}
+
+TEST(SaLint, FlagsConstantSharedOutOfBounds) {
+  KernelBuilder b("smem_oob");
+  b.set_shared_bytes(16);
+  b.mov_u32(2, Operand::imm_u(64));  // provably constant address
+  b.mov_u32(4, Operand::imm_u(1));
+  b.sts(2, 4);
+  b.exit_();
+  const auto report = sa::lint(must_build(b));
+  EXPECT_EQ(report.count(sa::LintCheck::kSharedOutOfBounds), 1);
+  EXPECT_TRUE(report.has_errors());
+
+  // Same store inside the declared window: clean.
+  KernelBuilder ok("smem_ok");
+  ok.set_shared_bytes(16);
+  ok.mov_u32(2, Operand::imm_u(8));
+  ok.mov_u32(4, Operand::imm_u(1));
+  ok.sts(2, 4);
+  ok.exit_();
+  EXPECT_EQ(sa::lint(must_build(ok)).count(sa::LintCheck::kSharedOutOfBounds),
+            0);
+}
+
+TEST(SaLint, FlagsUnreachableCodeAndDeadValues) {
+  KernelBuilder b("dead");
+  const auto end = b.new_label();
+  b.mov_u32(2, Operand::imm_u(5));  // never read: dead value
+  b.bra(end);
+  b.mov_u32(4, Operand::imm_u(6));  // unreachable
+  b.bind(end);
+  b.exit_();
+  const auto report = sa::lint(must_build(b));
+  EXPECT_GE(report.count(sa::LintCheck::kUnreachableCode), 1);
+  EXPECT_GE(report.count(sa::LintCheck::kDeadValue), 1);
+  EXPECT_EQ(report.count(sa::Severity::kError), 0);
+}
+
+TEST(SaLint, FindingsSortedAndJsonWellFormed) {
+  KernelBuilder b("sorted");
+  b.ldc_u64(2, 0);
+  b.stg(2, 9);   // uninit R9
+  b.stg(2, 11);  // uninit R11
+  b.exit_();
+  auto report = sa::lint(must_build(b));
+  ASSERT_GE(report.findings.size(), 2u);
+  for (std::size_t i = 1; i < report.findings.size(); ++i) {
+    EXPECT_LE(report.findings[i - 1].pc, report.findings[i].pc);
+  }
+
+  report.findings[0].message = "quote \" backslash \\ newline \n done";
+  const std::string json = sa::to_json(report);
+  EXPECT_NE(json.find("\"program\": \"sorted\""), std::string::npos);
+  EXPECT_NE(json.find("\\\" backslash \\\\ newline \\n"), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 0"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single line per report
+}
+
+TEST(SaLint, CheckAndSeverityNamesAreStable) {
+  EXPECT_STREQ(sa::check_name(sa::LintCheck::kUninitRegRead),
+               "uninit-reg-read");
+  EXPECT_STREQ(sa::check_name(sa::LintCheck::kSharedOutOfBounds),
+               "shared-out-of-bounds");
+  EXPECT_STREQ(sa::severity_name(sa::Severity::kError), "error");
+  EXPECT_STREQ(sa::severity_name(sa::Severity::kInfo), "info");
+}
+
+// ---------------------------------------------------------- golden sweep --
+
+// Every built-in workload (including the SWIFT-hardened variants) must lint
+// clean at warning level and above. Dead-value infos are allowed: SWIFT's
+// duplicated computation intentionally produces detector values the checker
+// never consumes, and those are exactly the sites the pruning pass skips.
+TEST(SaLint, AllBuiltinWorkloadsLintClean) {
+  harden::register_hardened_workloads();
+  const auto names = wl::workload_names();
+  ASSERT_GE(names.size(), 17u);
+  for (const auto& name : names) {
+    const auto workload = wl::make_workload(name);
+    ASSERT_NE(workload, nullptr) << name;
+    const auto report = sa::lint(workload->program());
+    EXPECT_EQ(report.count(sa::Severity::kError), 0) << name;
+    EXPECT_EQ(report.count(sa::Severity::kWarning), 0) << name;
+    for (const auto& finding : report.findings) {
+      EXPECT_EQ(finding.check, sa::LintCheck::kDeadValue)
+          << name << ": unexpected info " << sa::check_name(finding.check)
+          << " at pc " << finding.pc << ": " << finding.message;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gfi

@@ -10,6 +10,10 @@
 //                                           a golden run + opcode histogram
 //   gpufi merge <journal...> [--csv=]       recombine shard journals into
 //                                           the campaign outcome table
+//   gpufi lint [workload] [--json]          static kernel verifier (sa/lint.h)
+//                                           over one or all built-in
+//                                           workloads; exits 1 on any
+//                                           error-severity finding
 //
 // Flags (campaign/compare/golden):
 //   --arch=a100|h100|toy     machine model            (default a100)
@@ -40,6 +44,13 @@
 //   --max-retries=<n>        relaunch budget (default 3 when --recover given)
 //   --persist=transient|stuck  whether retries see the fault again
 //                            (default transient)
+//
+// Static-analysis flags:
+//   --prune=dead|none        (campaign/compare) skip simulating IOV/PRED
+//                            sites whose destination is statically dead;
+//                            records are credited analytically and outcome
+//                            tables stay bit-identical (default none)
+//   --json                   (lint) machine-readable findings
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +68,7 @@
 #include "fi/journal.h"
 #include "harden/swift.h"
 #include "recover/abft.h"
+#include "sa/lint.h"
 #include "sassim/simulator.h"
 #include "sassim/tracer.h"
 #include "workloads/workload.h"
@@ -87,11 +99,13 @@ struct Options {
   std::optional<std::string> recover;  ///< "retry" or "abft"
   std::optional<u32> max_retries;
   std::string persist = "transient";
+  std::string prune = "none";
+  bool json = false;
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: gpufi <list|disasm|golden|campaign|compare|merge> "
+               "usage: gpufi <list|disasm|golden|campaign|compare|merge|lint> "
                "[workload|journal...] [--flags]\n(see the header of "
                "tools/gpufi_cli.cc for the flag reference)\n");
   return 2;
@@ -233,6 +247,19 @@ std::optional<Options> parse(int argc, char** argv) {
       options.persist = value;
       continue;
     }
+    if (parse_flag(arg, "prune", &value)) {
+      if (value != "dead" && value != "none") {
+        std::fprintf(stderr, "bad --prune '%s' (want dead|none)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.prune = value;
+      continue;
+    }
+    if (arg == "--json") {
+      options.json = true;
+      continue;
+    }
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
     return std::nullopt;
   }
@@ -316,6 +343,7 @@ std::optional<fi::CampaignConfig> campaign_config(const Options& options) {
   config.shard_count = options.shard_count;
   config.journal_path = options.journal;
   config.watchdog_instrs = options.watchdog;
+  config.prune_dead_sites = options.prune == "dead";
   if (options.golden_cache) {
     fi::GoldenCache::instance().set_directory(*options.golden_cache);
   }
@@ -387,6 +415,12 @@ int cmd_campaign(const Options& options) {
     std::printf("resumed %zu of %zu injections from %s\n",
                 result.value().resumed, result.value().records.size(),
                 config->journal_path->c_str());
+  }
+  if (result.value().pruned > 0) {
+    std::printf("pruned %llu of %zu injections (statically dead sites, "
+                "credited analytically)\n",
+                static_cast<unsigned long long>(result.value().pruned),
+                result.value().records.size());
   }
   Table table(title);
   table.set_header(analysis::outcome_header());
@@ -479,6 +513,42 @@ int cmd_merge(const Options& options) {
   return 0;
 }
 
+int cmd_lint(const Options& options) {
+  std::vector<std::string> names;
+  if (!options.workload.empty()) {
+    names.push_back(options.workload);
+  } else {
+    names = wl::workload_names();
+  }
+  bool any_errors = false;
+  std::string json = "[";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    auto workload = wl::make_workload(names[i]);
+    if (!workload) {
+      std::fprintf(stderr, "unknown workload '%s'\n", names[i].c_str());
+      return 2;
+    }
+    const sa::LintReport report = sa::lint(workload->program());
+    any_errors = any_errors || report.has_errors();
+    if (options.json) {
+      if (i > 0) json += ",\n ";
+      json += sa::to_json(report);
+      continue;
+    }
+    std::printf("%s: %d error(s), %d warning(s), %d info\n",
+                report.program.c_str(), report.count(sa::Severity::kError),
+                report.count(sa::Severity::kWarning),
+                report.count(sa::Severity::kInfo));
+    for (const sa::LintFinding& finding : report.findings) {
+      std::printf("  [%s] pc %u %s: %s\n",
+                  sa::severity_name(finding.severity), finding.pc,
+                  sa::check_name(finding.check), finding.message.c_str());
+    }
+  }
+  if (options.json) std::printf("%s]\n", json.c_str());
+  return any_errors ? 1 : 0;
+}
+
 int cmd_trace(const Options& options) {
   auto machine = machine_for(options);
   if (!machine) return 2;
@@ -517,6 +587,8 @@ int main(int argc, char** argv) {
   auto options = parse(argc, argv);
   if (!options) return usage();
   if (options->command == "list") return cmd_list();
+  // `lint` with no workload lints every registered kernel.
+  if (options->command == "lint") return cmd_lint(*options);
   if (options->workload.empty()) return usage();
   if (options->command == "merge") return cmd_merge(*options);
   if (options->command == "disasm") return cmd_disasm(*options);
