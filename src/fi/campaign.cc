@@ -171,9 +171,12 @@ Result<Campaign::Golden> Campaign::golden_run(const CampaignConfig& config) {
   auto spec = workload->setup(device);
   if (!spec.is_ok()) return spec.status();
 
-  sim::ProfilerHook profiler;
+  // Profile natively (LaunchOptions::profile) instead of via ProfilerHook:
+  // with no hooks attached the golden run takes the clean execution path.
+  // The engine's counts are identical to the hook's.
+  sim::Profile profile;
   sim::LaunchOptions options;
-  options.hooks.push_back(&profiler);
+  options.profile = &profile;
   auto launch = device.launch(workload->program(), spec.value().grid,
                               spec.value().block, spec.value().params, options);
   if (!launch.is_ok()) return launch.status();
@@ -191,7 +194,7 @@ Result<Campaign::Golden> Campaign::golden_run(const CampaignConfig& config) {
                             ")");
   }
   Golden golden;
-  golden.profile = profiler.profile();
+  golden.profile = profile;
   golden.dyn_instrs = launch.value().dyn_warp_instrs;
   golden.cycles = launch.value().cycles;
   return golden;

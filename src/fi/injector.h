@@ -51,6 +51,13 @@ class InjectorHook final : public sim::InstrumentHook {
   u64 transform_store_address(u64 addr, const sim::InstrContext& ctx,
                               u32 lane) override;
 
+  /// One-shot: after the fault has fired (and any armed store-address
+  /// strike has landed) the hook is inert for the rest of the launch, so
+  /// the engine may downgrade to the clean execution path.
+  [[nodiscard]] bool done_observing() const override {
+    return fired_ && armed_store_dyn_ == ~0ULL;
+  }
+
   [[nodiscard]] const InjectionEffect& effect() const { return effect_; }
 
   /// Picks the struck lane among the set bits of `exec_mask`. Public so the

@@ -4,7 +4,6 @@
 
 namespace gfi::sa {
 
-using sim::def_use;
 using sim::DefUse;
 using sim::Instr;
 using sim::Opcode;
@@ -12,6 +11,7 @@ using sim::Opcode;
 StaticSiteAnalysis StaticSiteAnalysis::analyze(const sim::Program& program) {
   StaticSiteAnalysis result;
   const auto& code = program.code();
+  const sim::DecodedProgram& dec = program.decoded();
   const u32 n = static_cast<u32>(code.size());
   result.classes_.assign(n, SiteClass::kLive);
   if (n == 0) return result;
@@ -21,7 +21,7 @@ StaticSiteAnalysis StaticSiteAnalysis::analyze(const sim::Program& program) {
 
   for (u32 pc = 0; pc < n; ++pc) {
     const Instr& instr = code[pc];
-    if (!is_value_site_group(sim::instr_group(instr))) continue;
+    if (!is_value_site_group(dec.group(pc))) continue;
 
     SiteClass cls = SiteClass::kLive;
     if (instr.writes_pred()) {
@@ -37,7 +37,7 @@ StaticSiteAnalysis StaticSiteAnalysis::analyze(const sim::Program& program) {
       cls = SiteClass::kLive;  // never prune a degenerate RZ-fragment MMA
     } else if ((instr.writes_reg() || instr.op == Opcode::kHmma) &&
                instr.dst.is_reg()) {
-      const DefUse du = def_use(instr);
+      const DefUse& du = dec.def_use(pc);
       bool all_dead = !du.strike_regs.empty();
       for (u16 r : du.strike_regs) {
         if (r >= program.num_regs() || live.reg_live_out(pc, r)) {

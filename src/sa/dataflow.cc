@@ -4,9 +4,8 @@
 
 namespace gfi::sa {
 
-using sim::def_use;
+using sim::DecodedProgram;
 using sim::DefUse;
-using sim::is_guarded;
 
 namespace {
 
@@ -22,8 +21,8 @@ u32 pred_var(u32 num_regs, u8 p) { return num_regs + p; }
 Liveness Liveness::compute(const sim::Program& program, const Cfg& cfg) {
   Liveness live;
   live.num_regs_ = program.num_regs();
-  const auto& code = program.code();
-  const u32 n = static_cast<u32>(code.size());
+  const DecodedProgram& dec = program.decoded();
+  const u32 n = static_cast<u32>(dec.size());
   live.live_out_.assign(n, BitSet());
   if (cfg.empty()) return live;
 
@@ -37,7 +36,7 @@ Liveness Liveness::compute(const sim::Program& program, const Cfg& cfg) {
   for (u32 b = 0; b < nblocks; ++b) {
     BitSet killed(nvars);
     for (u32 pc = blocks[b].first; pc <= blocks[b].last; ++pc) {
-      const DefUse du = def_use(code[pc]);
+      const DefUse& du = dec.def_use(pc);
       for (u16 r : du.src_regs) {
         if (r < live.num_regs_ && !killed.test(r)) use[b].set(r);
       }
@@ -47,7 +46,7 @@ Liveness Liveness::compute(const sim::Program& program, const Cfg& cfg) {
           if (!killed.test(v)) use[b].set(v);
         }
       }
-      if (!is_guarded(code[pc])) {
+      if (!dec.guarded(pc)) {
         for (u16 r : du.dst_regs) {
           if (r < live.num_regs_) {
             killed.set(r);
@@ -85,8 +84,8 @@ Liveness Liveness::compute(const sim::Program& program, const Cfg& cfg) {
     BitSet current = block_out[b];
     for (u32 pc = blocks[b].last;; --pc) {
       live.live_out_[pc] = current;
-      const DefUse du = def_use(code[pc]);
-      if (!is_guarded(code[pc])) {
+      const DefUse& du = dec.def_use(pc);
+      if (!dec.guarded(pc)) {
         for (u16 r : du.dst_regs) {
           if (r < live.num_regs_) current.reset(r);
         }
@@ -115,12 +114,11 @@ Liveness Liveness::compute(const sim::Program& program, const Cfg& cfg) {
 ReachingDefs ReachingDefs::compute(const sim::Program& program,
                                    const Cfg& cfg) {
   ReachingDefs rd;
-  rd.program_ = &program;
+  rd.dec_ = &program.decoded();
   rd.cfg_ = &cfg;
   rd.num_regs_ = program.num_regs();
   rd.num_vars_ = rd.num_regs_ + (sim::kNumPredicates - 1);
-  const auto& code = program.code();
-  const u32 n = static_cast<u32>(code.size());
+  const u32 n = static_cast<u32>(rd.dec_->size());
   rd.def_ids_at_.assign(n, {});
   rd.defs_of_var_.assign(rd.num_vars_, {});
   rd.pseudo_def_of_var_.assign(rd.num_vars_, 0);
@@ -133,7 +131,7 @@ ReachingDefs ReachingDefs::compute(const sim::Program& program,
     rd.defs_.push_back(Def{0, v, true});
   }
   for (u32 pc = 0; pc < n; ++pc) {
-    const DefUse du = def_use(code[pc]);
+    const DefUse& du = rd.dec_->def_use(pc);
     for (u16 r : du.dst_regs) {
       if (r >= rd.num_regs_) continue;
       const u32 id = static_cast<u32>(rd.defs_.size());
@@ -175,7 +173,7 @@ ReachingDefs ReachingDefs::compute(const sim::Program& program,
 }
 
 void ReachingDefs::apply(BitSet& state, u32 pc) const {
-  const bool guarded = is_guarded(program_->at(pc));
+  const bool guarded = dec_->guarded(pc);
   for (u32 id : def_ids_at_[pc]) {
     if (!guarded) {
       for (u32 other : defs_of_var_[defs_[id].var]) state.reset(other);
@@ -230,14 +228,14 @@ std::vector<u32> ReachingDefs::reaching_pred_defs(u32 pc, u8 p) const {
 DefUseChains DefUseChains::compute(const sim::Program& program, const Cfg& cfg,
                                    const ReachingDefs& reaching) {
   DefUseChains chains;
-  const auto& code = program.code();
-  const u32 n = static_cast<u32>(code.size());
+  const DecodedProgram& dec = program.decoded();
+  const u32 n = static_cast<u32>(dec.size());
   chains.uses.assign(n, {});
   if (cfg.empty()) return chains;
 
   for (u32 pc = 0; pc < n; ++pc) {
     if (!cfg.pc_reachable(pc)) continue;
-    const DefUse du = def_use(code[pc]);
+    const DefUse& du = dec.def_use(pc);
     for (u16 r : du.src_regs) {
       for (u32 def_pc : reaching.reaching_defs(pc, r)) {
         chains.uses[def_pc].push_back(pc);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sa/cfg.h"
+#include "sassim/decoded.h"
 #include "sassim/defuse.h"
 #include "sassim/program.h"
 
@@ -106,7 +107,7 @@ class ReachingDefs {
   [[nodiscard]] BitSet state_at(u32 pc) const;
   void apply(BitSet& state, u32 pc) const;
 
-  const sim::Program* program_ = nullptr;
+  const sim::DecodedProgram* dec_ = nullptr;
   const Cfg* cfg_ = nullptr;
   u32 num_regs_ = 0;
   u32 num_vars_ = 0;

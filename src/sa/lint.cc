@@ -10,7 +10,6 @@
 
 namespace gfi::sa {
 
-using sim::def_use;
 using sim::DefUse;
 using sim::Instr;
 using sim::Opcode;
@@ -98,6 +97,7 @@ LintReport lint(const sim::Program& program) {
   const u32 n = static_cast<u32>(program.size());
   if (n == 0) return report;
 
+  const sim::DecodedProgram& dec = program.decoded();
   const Cfg cfg = Cfg::build(program);
   const Liveness live = Liveness::compute(program, cfg);
   const ReachingDefs reaching = ReachingDefs::compute(program, cfg);
@@ -128,7 +128,7 @@ LintReport lint(const sim::Program& program) {
   for (u32 pc = 0; pc < n; ++pc) {
     if (!cfg.pc_reachable(pc)) continue;
     const Instr& instr = program.at(pc);
-    const DefUse du = def_use(instr);
+    const DefUse& du = dec.def_use(pc);
 
     // Reads of possibly never-defined registers / predicates. Registers are
     // zero-initialised at launch, so this is a warning, not an error.
@@ -169,7 +169,7 @@ LintReport lint(const sim::Program& program) {
     // inside an SSY region only the taken-path lanes arrive — both hang the
     // CTA on real hardware.
     if (instr.op == Opcode::kBar) {
-      if (sim::is_guarded(instr)) {
+      if (dec.guarded(pc)) {
         add(report, LintCheck::kDivergentBarrier, Severity::kWarning, pc,
             "BAR under a guard predicate: masked lanes never arrive");
       } else if (depth.at[pc] > 0) {

@@ -6,6 +6,8 @@
 // InstrumentHook implementations.
 #pragma once
 
+#include <span>
+
 #include "common/types.h"
 #include "sassim/isa.h"
 #include "sassim/trap.h"
@@ -53,6 +55,34 @@ class InstrumentHook {
                                       u32 /*lane*/) {
     return addr;
   }
+
+  /// True once this hook no longer needs to observe or mutate anything for
+  /// the rest of the launch. When every attached hook reports done, the
+  /// engine downgrades mid-launch from the instrumented to the clean
+  /// execution path (NVBitFI's detach-after-strike optimisation); the
+  /// remaining callbacks — including on_launch_end — are still delivered.
+  /// Hooks that observe the whole launch (profiler, tracer) keep the
+  /// default.
+  [[nodiscard]] virtual bool done_observing() const { return false; }
+};
+
+/// RAII pairing of on_launch_begin / on_launch_end around a launch: every
+/// exit path (completion, trap, watchdog, barrier deadlock) delivers the
+/// end callback exactly once.
+class LaunchScope {
+ public:
+  LaunchScope(std::span<InstrumentHook* const> hooks, const Program& program)
+      : hooks_(hooks) {
+    for (InstrumentHook* hook : hooks_) hook->on_launch_begin(program);
+  }
+  ~LaunchScope() {
+    for (InstrumentHook* hook : hooks_) hook->on_launch_end();
+  }
+  LaunchScope(const LaunchScope&) = delete;
+  LaunchScope& operator=(const LaunchScope&) = delete;
+
+ private:
+  std::span<InstrumentHook* const> hooks_;
 };
 
 }  // namespace gfi::sim

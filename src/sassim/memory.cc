@@ -29,11 +29,7 @@ void GlobalMemory::reset() {
   counters_ = {};
 }
 
-TrapKind GlobalMemory::read(u64 addr, void* out, u32 n) {
-  if (!in_bounds(addr, n)) return TrapKind::kIllegalGlobalAddress;
-  std::memcpy(out, backing(addr), n);
-  if (faults_.empty()) return TrapKind::kNone;
-
+TrapKind GlobalMemory::read_faulty(u64 addr, void* out, u32 n) {
   // Visit every 32-bit word the access overlaps.
   const u64 first_word = addr / 4;
   const u64 last_word = (addr + n - 1) / 4;
@@ -68,16 +64,11 @@ TrapKind GlobalMemory::read(u64 addr, void* out, u32 n) {
   return TrapKind::kNone;
 }
 
-TrapKind GlobalMemory::write(u64 addr, const void* src, u32 n) {
-  if (!in_bounds(addr, n)) return TrapKind::kIllegalGlobalAddress;
-  std::memcpy(backing(addr), src, n);
-  if (!faults_.empty()) {
-    // A write that covers a whole word re-encodes it, clearing the upset.
-    u64 word = (addr + 3) / 4;                // first fully covered word
-    const u64 end_word = (addr + n) / 4;      // one past last fully covered
-    for (; word < end_word; ++word) faults_.erase(word);
-  }
-  return TrapKind::kNone;
+void GlobalMemory::clear_overwritten_faults(u64 addr, u32 n) {
+  // A write that covers a whole word re-encodes it, clearing the upset.
+  u64 word = (addr + 3) / 4;                // first fully covered word
+  const u64 end_word = (addr + n) / 4;      // one past last fully covered
+  for (; word < end_word; ++word) faults_.erase(word);
 }
 
 TrapKind GlobalMemory::copy_to_device(u64 dst, const void* src, u64 n) {

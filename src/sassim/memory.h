@@ -8,6 +8,7 @@
 // (transient-upset model — new data is re-encoded correctly).
 #pragma once
 
+#include <cstring>
 #include <unordered_map>
 #include <vector>
 
@@ -37,11 +38,36 @@ class GlobalMemory {
   void set_ecc_mode(ecc::EccMode mode) { mode_ = mode; }
 
   /// Reads `n` bytes with full trap/ECC semantics. On a trap the output
-  /// buffer contents are unspecified.
-  [[nodiscard]] TrapKind read(u64 addr, void* out, u32 n);
+  /// buffer contents are unspecified. Inlined fast path for the (dominant)
+  /// fault-free case; ECC classification lives in read_faulty().
+  [[nodiscard]] TrapKind read(u64 addr, void* out, u32 n) {
+    if (!in_bounds(addr, n)) return TrapKind::kIllegalGlobalAddress;
+    std::memcpy(out, backing(addr), n);
+    if (faults_.empty()) [[likely]] return TrapKind::kNone;
+    return read_faulty(addr, out, n);
+  }
 
   /// Writes `n` bytes; clears faults on fully overwritten words.
-  [[nodiscard]] TrapKind write(u64 addr, const void* src, u32 n);
+  [[nodiscard]] TrapKind write(u64 addr, const void* src, u32 n) {
+    if (!in_bounds(addr, n)) return TrapKind::kIllegalGlobalAddress;
+    std::memcpy(backing(addr), src, n);
+    if (!faults_.empty()) clear_overwritten_faults(addr, n);
+    return TrapKind::kNone;
+  }
+
+  /// 32-bit accesses for the executor's hoisted full-warp paths: bounds
+  /// check only, no per-word fault-map lookup. Callers must hold
+  /// fault_free() so ECC classification / fault clearing cannot be missed.
+  [[nodiscard]] bool read_u32_nofault(u64 addr, u32* out) const {
+    if (!in_bounds(addr, 4)) return false;
+    std::memcpy(out, data_.data() + (addr - kBaseAddress), 4);
+    return true;
+  }
+  [[nodiscard]] bool write_u32_nofault(u64 addr, u32 value) {
+    if (!in_bounds(addr, 4)) return false;
+    std::memcpy(backing(addr), &value, 4);
+    return true;
+  }
 
   /// Host-side copies. d2h goes through the ECC read path on purpose: a
   /// pending DBE in an output buffer surfaces when results are copied back,
@@ -76,6 +102,9 @@ class GlobalMemory {
   }
 
   [[nodiscard]] std::size_t fault_count() const { return faults_.size(); }
+  /// True while no upsets are pending — the executor's hoisted load fast
+  /// path requires it so ECC classification can never be skipped.
+  [[nodiscard]] bool fault_free() const { return faults_.empty(); }
   [[nodiscard]] const ecc::EccCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
 
@@ -88,6 +117,13 @@ class GlobalMemory {
   [[nodiscard]] u8* backing(u64 addr) {
     return data_.data() + (addr - kBaseAddress);
   }
+
+  /// Out-of-line tail of read(): ECC classification of the pending upsets
+  /// the access overlaps. Called only when faults_ is non-empty; the bytes
+  /// are already copied into `out`.
+  [[nodiscard]] TrapKind read_faulty(u64 addr, void* out, u32 n);
+  /// Out-of-line tail of write(): erase faults on fully overwritten words.
+  void clear_overwritten_faults(u64 addr, u32 n);
 
   u64 capacity_;
   ecc::EccMode mode_;

@@ -1,8 +1,65 @@
 #include "sassim/program.h"
 
+#include <span>
 #include <sstream>
 
+#include "sassim/decoded.h"
+
 namespace gfi::sim {
+
+Program::~Program() = default;
+
+Program::Program(const Program& other)
+    : name_(other.name_),
+      code_(other.code_),
+      num_regs_(other.num_regs_),
+      shared_bytes_(other.shared_bytes_),
+      num_params_(other.num_params_) {}
+
+Program& Program::operator=(const Program& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  code_ = other.code_;
+  num_regs_ = other.num_regs_;
+  shared_bytes_ = other.shared_bytes_;
+  num_params_ = other.num_params_;
+  decoded_ptr_.store(nullptr, std::memory_order_relaxed);
+  decoded_.reset();
+  return *this;
+}
+
+Program::Program(Program&& other) noexcept
+    : name_(std::move(other.name_)),
+      code_(std::move(other.code_)),
+      num_regs_(other.num_regs_),
+      shared_bytes_(other.shared_bytes_),
+      num_params_(other.num_params_) {}
+
+Program& Program::operator=(Program&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  code_ = std::move(other.code_);
+  num_regs_ = other.num_regs_;
+  shared_bytes_ = other.shared_bytes_;
+  num_params_ = other.num_params_;
+  decoded_ptr_.store(nullptr, std::memory_order_relaxed);
+  decoded_.reset();
+  return *this;
+}
+
+const DecodedProgram& Program::decoded() const {
+  if (const DecodedProgram* cached =
+          decoded_ptr_.load(std::memory_order_acquire)) {
+    return *cached;
+  }
+  std::lock_guard<std::mutex> lock(decode_mu_);
+  if (!decoded_) {
+    decoded_ = std::make_unique<const DecodedProgram>(
+        std::span<const Instr>(code_));
+    decoded_ptr_.store(decoded_.get(), std::memory_order_release);
+  }
+  return *decoded_;
+}
 
 std::string Program::disassemble() const {
   std::ostringstream out;

@@ -1,12 +1,16 @@
 // A linked, validated kernel: the unit the simulator launches.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "sassim/decoded.h"
 #include "sassim/isa.h"
 
 namespace gfi::sim {
@@ -25,6 +29,15 @@ class Program {
         num_regs_(num_regs),
         shared_bytes_(shared_bytes),
         num_params_(num_params) {}
+  ~Program();
+
+  // The decode cache is per-object (it holds a mutex), so copies and moves
+  // transfer only the program itself; the destination re-decodes lazily on
+  // first use.
+  Program(const Program& other);
+  Program& operator=(const Program& other);
+  Program(Program&& other) noexcept;
+  Program& operator=(Program&& other) noexcept;
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::vector<Instr>& code() const { return code_; }
@@ -37,6 +50,12 @@ class Program {
   [[nodiscard]] u32 shared_bytes() const { return shared_bytes_; }
   /// Number of 64-bit kernel parameters expected at launch.
   [[nodiscard]] u32 num_params() const { return num_params_; }
+
+  /// The predecoded form of this program: dense per-pc instruction records
+  /// plus def/use footprints (see decoded.h). Built lazily on first call,
+  /// then cached; safe to call concurrently from any number of launch
+  /// threads — they all share one immutable DecodedProgram.
+  [[nodiscard]] const DecodedProgram& decoded() const;
 
   /// Full SASS-like disassembly listing.
   [[nodiscard]] std::string disassemble() const;
@@ -51,6 +70,14 @@ class Program {
   u16 num_regs_ = 0;
   u32 shared_bytes_ = 0;
   u32 num_params_ = 0;
+
+  // Lazy decode cache: double-checked via the atomic pointer so the hot
+  // path (already decoded) is one acquire load. Mutating this Program (via
+  // assignment) while other threads decode it is a race on code_ itself, so
+  // the reset in the assignment operators needs no extra synchronisation.
+  mutable std::mutex decode_mu_;
+  mutable std::atomic<const DecodedProgram*> decoded_ptr_{nullptr};
+  mutable std::unique_ptr<const DecodedProgram> decoded_;
 };
 
 }  // namespace gfi::sim

@@ -23,13 +23,25 @@
 
 namespace gfi::sim {
 
+struct Profile;
+
 /// Per-launch options.
 struct LaunchOptions {
   /// Abort with kWatchdogTimeout after this many dynamic warp instructions.
   /// 0 selects the default (256M).
   u64 watchdog_instrs = 0;
   /// Instrumentation hooks, invoked in order around every instruction.
+  /// A launch with no hooks runs on the clean (uninstrumented) execution
+  /// path; any hook selects the instrumented path.
   std::vector<InstrumentHook*> hooks;
+  /// When set, the engine accumulates a dynamic-instruction Profile here
+  /// natively — no ProfilerHook needed, so a profile-only launch still
+  /// takes the clean path. Counts match ProfilerHook's exactly.
+  Profile* profile = nullptr;
+  /// Forces the instrumented engine even with no hooks attached: the exact
+  /// pre-refactor inner loop (context construction, double guard-mask
+  /// computation, empty hook walks). Benchmark/equivalence baseline only.
+  bool force_instrumented = false;
 };
 
 /// Outcome of one kernel launch.

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstring>
 #include <vector>
 
 #include "common/bitutil.h"
@@ -47,6 +48,37 @@ class WarpState {
 
   void set_active(u32 mask) { active_ = mask; }
 
+  /// Lanes that would execute an instruction guarded by @P (or @!P when
+  /// `negated`): active lanes whose guard predicate evaluates true. Both
+  /// execution paths compute exec masks through this one definition.
+  [[nodiscard]] u32 guard_mask(u8 p, bool negated) const {
+    u32 mask = 0;
+    for (u32 lane = 0; lane < kWarpSize; ++lane) {
+      if (!((active_ >> lane) & 1u)) continue;
+      if (pred(lane, p) != negated) mask |= 1u << lane;
+    }
+    return mask;
+  }
+
+  /// Bit-identical to guard_mask(), evaluated bit-parallel over the packed
+  /// predicate bytes instead of lane by lane. The clean execution path's
+  /// per-instruction guard evaluation; the instrumented path keeps the
+  /// per-lane walk above, whose cost is part of the preserved pre-refactor
+  /// inner loop it stands in for.
+  [[nodiscard]] u32 guard_mask_fast(u8 p, bool negated) const {
+    if (p == kPredT) return negated ? 0u : active_;
+    u32 raw = 0;
+    for (u32 q = 0; q < 4; ++q) {
+      u64 chunk;
+      std::memcpy(&chunk, preds_ + q * 8, 8);
+      // Low bit of each byte -> one mask bit per lane, carry-free.
+      const u64 bits = (chunk >> p) & 0x0101010101010101ull;
+      raw |= static_cast<u32>((bits * 0x0102040810204080ull) >> 56) << (q * 8);
+    }
+    if (negated) raw = ~raw;
+    return raw & active_;
+  }
+
   std::vector<StackEntry>& stack() { return stack_; }
   [[nodiscard]] const std::vector<StackEntry>& stack() const { return stack_; }
 
@@ -64,6 +96,12 @@ class WarpState {
     if (r == kRegZ) return;
     regs_[index_of(lane, r)] = value;
   }
+  /// Warp-wide register row: the 32 per-lane values of register `r` laid
+  /// out contiguously ([reg][lane] storage). The executor's full-warp
+  /// vector ALU path iterates rows directly; `r` must be a real register
+  /// (callers handle RZ themselves).
+  [[nodiscard]] const u32* row(u16 r) const { return &regs_[index_of(0, r)]; }
+  [[nodiscard]] u32* row(u16 r) { return &regs_[index_of(0, r)]; }
   [[nodiscard]] u64 reg64(u32 lane, u16 r) const {
     // RZ as a pair base reads (RZ, RZ): the upper half must not alias
     // register kRegZ + 1, which is out of the register file entirely.

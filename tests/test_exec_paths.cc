@@ -1,0 +1,262 @@
+// Execution-path equivalence tests for the dual clean/instrumented engine:
+// the clean path must be bit-identical to the instrumented path with no
+// hooks, concurrent launches must safely share one Program's decode cache,
+// the mid-launch downgrade must not perturb results, and the hook contract
+// (invocation order, launch_end on every exit path) is pinned here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sassim/defuse.h"
+#include "sassim/profiler.h"
+#include "sassim/tracer.h"
+#include "sim_test_util.h"
+#include "workloads/workload.h"
+
+namespace gfi {
+namespace {
+
+using sim::Device;
+using gfi::Dim3;
+using sim::KernelBuilder;
+using sim::LaunchOptions;
+using sim::LaunchResult;
+using sim::Operand;
+using sim::TrapKind;
+using sim_test::must;
+
+/// Everything a launch can externally produce, for bit-exact comparison.
+struct RunOutput {
+  LaunchResult result;
+  sim::GlobalMemory::Snapshot memory;
+};
+
+bool same_regs(const sim::RegList& a, const sim::RegList& b) {
+  if (a.count != b.count) return false;
+  for (int i = 0; i < a.count; ++i) {
+    if (a.regs[i] != b.regs[i]) return false;
+  }
+  return true;
+}
+
+bool identical(const RunOutput& a, const RunOutput& b) {
+  return a.result.trap.kind == b.result.trap.kind &&
+         a.result.trap.pc == b.result.trap.pc &&
+         a.result.dyn_warp_instrs == b.result.dyn_warp_instrs &&
+         a.result.dyn_thread_instrs == b.result.dyn_thread_instrs &&
+         a.result.cycles == b.result.cycles &&
+         a.result.ecc.corrected_sbe == b.result.ecc.corrected_sbe &&
+         a.result.ecc.detected_dbe == b.result.ecc.detected_dbe &&
+         a.result.ecc.silent_corrupted == b.result.ecc.silent_corrupted &&
+         a.memory.brk == b.memory.brk && a.memory.data == b.memory.data;
+}
+
+/// Runs `workload_name` on a fresh device and returns the full output.
+RunOutput run_workload(const std::string& workload_name,
+                       const sim::Program* shared_program,
+                       const LaunchOptions& options) {
+  auto workload = wl::make_workload(workload_name);
+  EXPECT_NE(workload, nullptr) << workload_name;
+  Device device(arch::toy());
+  auto spec = workload->setup(device);
+  EXPECT_TRUE(spec.is_ok()) << spec.status().to_string();
+  const sim::Program& program =
+      shared_program ? *shared_program : workload->program();
+  auto launch = device.launch(program, spec.value().grid, spec.value().block,
+                              spec.value().params, options);
+  EXPECT_TRUE(launch.is_ok()) << launch.status().to_string();
+  return RunOutput{launch.value(), device.snapshot()};
+}
+
+// Workloads with guards, divergence, loops, atomics, and FP — the shapes
+// where the clean path's single guard-mask computation could diverge from
+// the instrumented path's if either were wrong.
+const char* const kPathWorkloads[] = {"vecadd", "scan", "reduce_u32", "spmv"};
+
+TEST(ExecPaths, CleanMatchesForcedInstrumentedBitExact) {
+  for (const char* name : kPathWorkloads) {
+    LaunchOptions clean;
+    LaunchOptions forced;
+    forced.force_instrumented = true;
+    const RunOutput a = run_workload(name, nullptr, clean);
+    const RunOutput b = run_workload(name, nullptr, forced);
+    EXPECT_TRUE(identical(a, b)) << name;
+  }
+}
+
+TEST(ExecPaths, EmptyHookVectorTakesSameResultsAsInstrumented) {
+  // No hooks and hooks-that-all-finished must agree with force_instrumented
+  // on every counter the paper's experiments read.
+  for (const char* name : kPathWorkloads) {
+    LaunchOptions clean;
+    const RunOutput a = run_workload(name, nullptr, clean);
+
+    sim::TracerHook tracer(/*max_entries=*/4);
+    tracer.stop_after(0);  // done_observing after the first instruction
+    LaunchOptions downgrading;
+    downgrading.hooks.push_back(&tracer);
+    const RunOutput c = run_workload(name, nullptr, downgrading);
+    EXPECT_TRUE(identical(a, c)) << name << " (mid-launch downgrade)";
+  }
+}
+
+TEST(ExecPaths, ConcurrentLaunchesShareOneDecodeCache) {
+  // One *undecoded* Program shared by many threads: the first decode races,
+  // exactly as concurrent campaign workers race on a workload's kernel.
+  auto workload = wl::make_workload("scan");
+  ASSERT_NE(workload, nullptr);
+  const sim::Program shared = workload->program();  // copy: fresh cache
+
+  LaunchOptions clean;
+  const RunOutput reference = run_workload("scan", &shared, clean);
+
+  constexpr int kThreads = 8;
+  std::vector<RunOutput> outputs(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        LaunchOptions options;
+        options.force_instrumented = (t % 2) == 1;  // mix both paths
+        outputs[t] = run_workload("scan", &shared, options);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(identical(reference, outputs[t])) << "thread " << t;
+  }
+}
+
+TEST(ExecPaths, NativeProfileMatchesProfilerHook) {
+  for (const char* name : kPathWorkloads) {
+    sim::Profile native;
+    LaunchOptions clean;
+    clean.profile = &native;
+    (void)run_workload(name, nullptr, clean);
+
+    sim::ProfilerHook hook;
+    LaunchOptions instrumented;
+    instrumented.hooks.push_back(&hook);
+    (void)run_workload(name, nullptr, instrumented);
+
+    const sim::Profile& via_hook = hook.profile();
+    EXPECT_EQ(native.total_warp_instrs, via_hook.total_warp_instrs) << name;
+    EXPECT_EQ(native.total_thread_instrs, via_hook.total_thread_instrs)
+        << name;
+    EXPECT_EQ(native.warp_instrs_by_opcode, via_hook.warp_instrs_by_opcode)
+        << name;
+    EXPECT_EQ(native.warp_instrs_by_group, via_hook.warp_instrs_by_group)
+        << name;
+    EXPECT_EQ(native.thread_instrs_by_group, via_hook.thread_instrs_by_group)
+        << name;
+  }
+}
+
+/// Records the exact callback sequence, tagged with this hook's id, into a
+/// log shared by all hooks of a launch.
+class OrderRecordingHook final : public sim::InstrumentHook {
+ public:
+  OrderRecordingHook(std::vector<std::string>* log, std::string id)
+      : log_(log), id_(std::move(id)) {}
+
+  void on_launch_begin(const sim::Program&) override {
+    log_->push_back(id_ + ":begin");
+  }
+  void on_launch_end() override { log_->push_back(id_ + ":end"); }
+  void on_before_instr(sim::InstrContext& ctx) override {
+    if (ctx.dyn_index < 2) log_->push_back(id_ + ":before");
+  }
+  void on_after_instr(sim::InstrContext& ctx) override {
+    if (ctx.dyn_index < 2) log_->push_back(id_ + ":after");
+  }
+
+ private:
+  std::vector<std::string>* log_;
+  std::string id_;
+};
+
+TEST(ExecPaths, HookInvocationOrderIsPinned) {
+  // Two hooks, first two dynamic instructions: begin in registration order,
+  // then per instruction all on_before in order followed by all on_after in
+  // order, and finally end in registration order.
+  std::vector<std::string> log;
+  OrderRecordingHook first(&log, "a");
+  OrderRecordingHook second(&log, "b");
+  LaunchOptions options;
+  options.hooks.push_back(&first);
+  options.hooks.push_back(&second);
+  (void)sim_test::run_lane_kernel(
+      [](KernelBuilder& b) { b.mov_u32(10, Operand::imm_u(7)); }, options);
+  const std::vector<std::string> expected = {
+      "a:begin", "b:begin",                        // launch start
+      "a:before", "b:before", "a:after", "b:after",  // dyn 0
+      "a:before", "b:before", "a:after", "b:after",  // dyn 1
+      "a:end", "b:end",                            // launch end
+  };
+  EXPECT_EQ(log, expected);
+}
+
+/// Requests a trap on the first instruction it sees.
+class TrapOnFirstHook final : public sim::InstrumentHook {
+ public:
+  void on_before_instr(sim::InstrContext& ctx) override {
+    ctx.requested_trap = sim::TrapKind::kEccDoubleBit;
+  }
+};
+
+TEST(ExecPaths, LaunchEndFiresOnTrapExit) {
+  // The RAII launch scope must pair begin/end even when the launch aborts.
+  std::vector<std::string> log;
+  OrderRecordingHook recorder(&log, "r");
+  TrapOnFirstHook trapper;
+  LaunchOptions options;
+  options.hooks.push_back(&recorder);
+  options.hooks.push_back(&trapper);
+
+  KernelBuilder b("trap_path");
+  b.mov_u32(10, Operand::imm_u(1));
+  b.exit_();
+  auto program = must(b);
+  Device device(arch::toy());
+  auto launch = device.launch(program, Dim3(1), Dim3(32), {{0}}, options);
+  ASSERT_TRUE(launch.is_ok());
+  EXPECT_EQ(launch.value().trap.kind, TrapKind::kEccDoubleBit);
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.front(), "r:begin");
+  EXPECT_EQ(log.back(), "r:end");
+  EXPECT_EQ(std::count(log.begin(), log.end(), "r:end"), 1);
+}
+
+TEST(ExecPaths, DecodedProgramAgreesWithInstructionStream) {
+  auto workload = wl::make_workload("reduce_u32");
+  ASSERT_NE(workload, nullptr);
+  const sim::Program& program = workload->program();
+  const sim::DecodedProgram& dec = program.decoded();
+  ASSERT_EQ(dec.size(), program.size());
+  // The cache is built once: repeated calls return the same object.
+  EXPECT_EQ(&program.decoded(), &dec);
+  for (u32 pc = 0; pc < program.size(); ++pc) {
+    const sim::Instr& instr = program.at(pc);
+    const sim::DecodedInstr& decoded = dec.at(pc);
+    EXPECT_EQ(decoded.op, instr.op) << "pc " << pc;
+    EXPECT_EQ(decoded.group, sim::instr_group(instr)) << "pc " << pc;
+    EXPECT_EQ(dec.guarded(pc), sim::is_guarded(instr)) << "pc " << pc;
+    const sim::DefUse expected = sim::def_use(instr);
+    EXPECT_TRUE(same_regs(dec.def_use(pc).src_regs, expected.src_regs))
+        << "pc " << pc;
+    EXPECT_TRUE(same_regs(dec.def_use(pc).dst_regs, expected.dst_regs))
+        << "pc " << pc;
+  }
+  // Copying a Program resets the cache on the copy, not the original.
+  sim::Program copy = program;
+  EXPECT_NE(&copy.decoded(), &dec);
+  EXPECT_EQ(&program.decoded(), &dec);
+}
+
+}  // namespace
+}  // namespace gfi

@@ -36,6 +36,8 @@
 //   --golden-cache=<dir>     share golden (fault-free) runs across processes
 //   --watchdog=<n>           absolute per-injection watchdog budget
 //                            (dynamic warp instrs; default 3x golden + 10000)
+//   --threads=<n>            worker threads for the injection loop
+//                            (0 = hardware concurrency; default 0)
 //
 // Recovery flags (campaign/compare):
 //   --recover=retry|abft     trap-and-retry relaunch; `abft` additionally
@@ -96,6 +98,7 @@ struct Options {
   std::optional<std::string> journal;
   std::optional<std::string> golden_cache;
   std::optional<u64> watchdog;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
   std::optional<std::string> recover;  ///< "retry" or "abft"
   std::optional<u32> max_retries;
   std::string persist = "transient";
@@ -216,6 +219,18 @@ std::optional<Options> parse(int argc, char** argv) {
         return std::nullopt;
       }
       options.watchdog = *parsed;
+      continue;
+    }
+    if (parse_flag(arg, "threads", &value)) {
+      auto parsed = cli::parse_u64(value);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "bad --threads '%s' (want a non-negative integer, "
+                     "0 = hardware concurrency)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.threads = static_cast<std::size_t>(*parsed);
       continue;
     }
     if (parse_flag(arg, "recover", &value)) {
@@ -343,6 +358,7 @@ std::optional<fi::CampaignConfig> campaign_config(const Options& options) {
   config.shard_count = options.shard_count;
   config.journal_path = options.journal;
   config.watchdog_instrs = options.watchdog;
+  config.threads = options.threads;
   config.prune_dead_sites = options.prune == "dead";
   if (options.golden_cache) {
     fi::GoldenCache::instance().set_directory(*options.golden_cache);
