@@ -1,0 +1,103 @@
+// Microbenchmarks of the observability hot path (google-benchmark): the
+// cached-handle counter increment, the name-lookup increment, latency
+// histogram observation, and snapshotting a campaign-sized registry. These
+// bound the per-injection telemetry tax — the counters must stay invisible
+// next to a multi-millisecond simulated launch.
+#include <benchmark/benchmark.h>
+
+#include "obs/heartbeat.h"
+#include "obs/registry.h"
+
+namespace {
+
+using namespace gfi;
+
+void BM_CounterIncCachedHandle(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("events");
+  for (auto _ : state) {
+    counter.inc();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_CounterIncCachedHandle);
+
+void BM_CounterIncByNameLookup(benchmark::State& state) {
+  obs::Registry registry;
+  for (auto _ : state) {
+    registry.counter("events").inc();
+  }
+}
+BENCHMARK(BM_CounterIncByNameLookup);
+
+void BM_CounterIncContended(benchmark::State& state) {
+  static obs::Registry registry;
+  obs::Counter& counter = registry.counter("contended");
+  for (auto _ : state) {
+    counter.inc();
+  }
+}
+BENCHMARK(BM_CounterIncContended)->Threads(8)->UseRealTime();
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Registry registry;
+  obs::LatencyHistogram& histogram =
+      registry.histogram("lat_ms", 0.0, 500.0, 50);
+  f64 value = 0.0;
+  for (auto _ : state) {
+    histogram.observe(value);
+    value += 0.37;
+    if (value > 500.0) value = 0.0;
+  }
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_RegistrySnapshot(benchmark::State& state) {
+  // Roughly the instrument count a campaign registers.
+  obs::Registry registry;
+  for (int i = 0; i < 20; ++i) {
+    registry.counter("counter." + std::to_string(i)).inc(u64(i) * 17);
+  }
+  auto& histogram = registry.histogram("lat_ms", 0.0, 500.0, 50);
+  for (int i = 0; i < 1000; ++i) histogram.observe(static_cast<f64>(i % 500));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.snapshot());
+  }
+}
+BENCHMARK(BM_RegistrySnapshot);
+
+void BM_SnapshotToJson(benchmark::State& state) {
+  obs::Registry registry;
+  for (int i = 0; i < 20; ++i) {
+    registry.counter("counter." + std::to_string(i)).inc(u64(i) * 17);
+  }
+  auto& histogram = registry.histogram("lat_ms", 0.0, 500.0, 50);
+  for (int i = 0; i < 1000; ++i) histogram.observe(static_cast<f64>(i % 500));
+  const obs::Snapshot snapshot = registry.snapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snapshot.to_json());
+  }
+}
+BENCHMARK(BM_SnapshotToJson);
+
+void BM_HeartbeatLineSerialize(benchmark::State& state) {
+  obs::HeartbeatState beat;
+  beat.workload = "gemm";
+  beat.arch = "A100";
+  beat.shard_index = 2;
+  beat.shard_count = 8;
+  beat.done = 12345;
+  beat.total = 100000;
+  beat.outcome_counts.assign(9, 1234);
+  beat.elapsed_s = 321.5;
+  beat.rate = 38.4;
+  beat.eta_s = 2282.6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::heartbeat_line(beat));
+  }
+}
+BENCHMARK(BM_HeartbeatLineSerialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

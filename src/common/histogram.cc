@@ -1,6 +1,7 @@
 #include "common/histogram.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -10,12 +11,23 @@ Histogram::Histogram(f64 lo, f64 hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0.0) {}
 
 void Histogram::add(f64 value, f64 weight) {
+  // NaN has no bin: casting it to an integer is UB, and silently counting it
+  // anywhere would skew the distribution. It lands in a drop counter the
+  // caller can surface instead.
+  if (std::isnan(value)) {
+    dropped_ += weight;
+    return;
+  }
   const f64 span = hi_ - lo_;
-  auto bin = static_cast<std::ptrdiff_t>((value - lo_) / span *
-                                         static_cast<f64>(counts_.size()));
-  bin = std::clamp<std::ptrdiff_t>(bin, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  counts_[static_cast<std::size_t>(bin)] += weight;
+  // Clamp in the f64 domain BEFORE the integer cast: a far-out-of-range
+  // value (or the +-inf that lo_ == hi_ produces via the zero-span divide)
+  // would overflow ptrdiff_t in the cast, which is UB.
+  f64 pos = 0.0;
+  if (span > 0.0) {
+    pos = (value - lo_) / span * static_cast<f64>(counts_.size());
+    pos = std::clamp(pos, 0.0, static_cast<f64>(counts_.size() - 1));
+  }
+  counts_[static_cast<std::size_t>(pos)] += weight;
   total_ += weight;
 }
 

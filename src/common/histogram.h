@@ -14,6 +14,9 @@ class Histogram {
   /// Uniform bins over [lo, hi); values outside are clamped to edge bins.
   Histogram(f64 lo, f64 hi, std::size_t bins);
 
+  /// Adds a sample. NaN values are never binned (they go to dropped());
+  /// out-of-range and non-finite values clamp to the edge bins; a degenerate
+  /// range (lo == hi) puts every sample in bin 0.
   void add(f64 value, f64 weight = 1.0);
 
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
@@ -21,6 +24,8 @@ class Histogram {
   [[nodiscard]] f64 bin_hi(std::size_t bin) const;
   [[nodiscard]] f64 count(std::size_t bin) const { return counts_[bin]; }
   [[nodiscard]] f64 total() const { return total_; }
+  /// Weight of NaN samples rejected by add().
+  [[nodiscard]] f64 dropped() const { return dropped_; }
 
   /// ASCII bar chart, one line per bin, bars scaled to `width` characters.
   [[nodiscard]] std::string to_ascii(std::size_t width = 50) const;
@@ -30,6 +35,7 @@ class Histogram {
   f64 hi_;
   std::vector<f64> counts_;
   f64 total_ = 0.0;
+  f64 dropped_ = 0.0;
 };
 
 }  // namespace gfi

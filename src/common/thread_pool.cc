@@ -36,6 +36,13 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_) {
+    // Surface the failure on the submitting thread (one rethrow per batch;
+    // later exceptions from the same batch were already dropped).
+    std::exception_ptr exception = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(exception);
+  }
 }
 
 void ThreadPool::parallel_for(std::size_t count,
@@ -57,9 +64,20 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop();
     }
-    job();
+    // A job that throws must not escape: it would std::terminate the worker
+    // thread AND skip the in_flight_ decrement, deadlocking wait_idle().
+    // The first exception of a batch is kept and rethrown from wait_idle().
+    std::exception_ptr exception;
+    try {
+      job();
+    } catch (...) {
+      exception = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (exception && !first_exception_) {
+        first_exception_ = std::move(exception);
+      }
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -28,10 +29,13 @@ class ThreadPool {
   /// Enqueues a job. Safe to call from any thread.
   void submit(std::function<void()> job);
 
-  /// Blocks until every submitted job has finished executing.
+  /// Blocks until every submitted job has finished executing. If any job
+  /// threw, the first captured exception is rethrown here (the remaining
+  /// jobs of the batch still ran to completion).
   void wait_idle();
 
   /// Runs fn(i) for i in [0, count) across the pool and waits for completion.
+  /// Rethrows the first exception any fn(i) threw, after the batch drains.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
@@ -45,6 +49,7 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
+  std::exception_ptr first_exception_;  ///< first throw since last wait_idle
   bool shutting_down_ = false;
 };
 

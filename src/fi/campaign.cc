@@ -1,6 +1,7 @@
 #include "fi/campaign.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <memory>
 
@@ -9,6 +10,8 @@
 #include "common/thread_pool.h"
 #include "fi/golden_cache.h"
 #include "fi/journal.h"
+#include "obs/heartbeat.h"
+#include "obs/registry.h"
 #include "recover/retry.h"
 #include "sa/ace.h"
 #include "sassim/device.h"
@@ -241,7 +244,8 @@ Result<InjectionRecord> Campaign::run_single(const CampaignConfig& config,
                                              u64 golden_dyn_instrs,
                                              std::size_t run_index,
                                              const sa::PruneMap* prune_map,
-                                             bool* pruned_out) {
+                                             bool* pruned_out,
+                                             obs::Registry* metrics) {
   Rng rng = Rng::for_stream(config.seed, run_index);
   auto site = sample_site(config, profile, golden_dyn_instrs, rng);
   if (!site.is_ok()) return site.status();
@@ -289,6 +293,12 @@ Result<InjectionRecord> Campaign::run_single(const CampaignConfig& config,
   u64 first_launch_sbe = 0;
   std::optional<wl::Workload::Checked> final_check;
 
+  // Path-selection telemetry: resolved once, bumped per launch attempt.
+  obs::Counter* path_instrumented =
+      metrics ? &metrics->counter("campaign.path.instrumented") : nullptr;
+  obs::Counter* path_clean =
+      metrics ? &metrics->counter("campaign.path.clean") : nullptr;
+
   // One attempt = arm fault (if due) + launch + result check. The retry
   // executor restores the pre-attempt checkpoint between calls, so every
   // attempt sees bit-identical initial device state.
@@ -303,6 +313,12 @@ Result<InjectionRecord> Campaign::run_single(const CampaignConfig& config,
       }
     } else if (armed) {
       options.hooks.push_back(&injector);
+    }
+    // Hooks attached selects the instrumented engine; memory-mode and
+    // unarmed retry launches run clean (sassim decides the same way).
+    if (obs::Counter* path = options.hooks.empty() ? path_clean
+                                                   : path_instrumented) {
+      path->inc();
     }
 
     auto launch = device.launch(workload->program(), spec.value().grid,
@@ -433,7 +449,18 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
         " out of range for shard_count " +
         std::to_string(config.shard_count));
   }
+  obs::Registry& reg = config.metrics ? *config.metrics
+                                      : obs::Registry::global();
+
+  // Golden-cache effectiveness: the cache is process-wide, so attribute the
+  // delta this lookup produced rather than its absolute totals.
+  const std::size_t cache_hits_before = GoldenCache::instance().hits();
+  const std::size_t cache_misses_before = GoldenCache::instance().misses();
   auto golden = GoldenCache::instance().get_or_run(config);
+  reg.counter("campaign.golden_cache.hits")
+      .inc(GoldenCache::instance().hits() - cache_hits_before);
+  reg.counter("campaign.golden_cache.misses")
+      .inc(GoldenCache::instance().misses() - cache_misses_before);
   if (!golden.is_ok()) return golden.status();
 
   CampaignResult result;
@@ -507,22 +534,90 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
     prune_map = std::move(map).take();
   }
 
+  // Campaign metrics: handles resolved once, bumped from the workers.
+  // Outcome counters include journal-restored records, so the final
+  // registry snapshot totals match the merged journal's outcome counts.
+  std::array<obs::Counter*, kOutcomeCount> outcome_counters{};
+  for (int o = 0; o < kOutcomeCount; ++o) {
+    outcome_counters[o] = &reg.counter(
+        std::string("campaign.outcome.") + to_string(static_cast<Outcome>(o)));
+  }
+  obs::Counter& attempted = reg.counter("campaign.injections.attempted");
+  obs::Counter& completed = reg.counter("campaign.injections.completed");
+  obs::Counter& resumed_counter = reg.counter("campaign.injections.resumed");
+  obs::Counter& pruned_counter = reg.counter("campaign.injections.pruned");
+  obs::Counter& retries = reg.counter("campaign.retries");
+  obs::Counter& watchdog_hangs = reg.counter("campaign.watchdog.hangs");
+  obs::LatencyHistogram& latency = reg.histogram(
+      "campaign.injection.latency_ms", 0.0, 500.0, 50);
+  reg.gauge("campaign.injections.total")
+      .set(static_cast<f64>(result.run_indices.size()));
+  for (std::size_t slot = 0; slot < result.run_indices.size(); ++slot) {
+    if (!done[slot]) continue;
+    resumed_counter.inc();
+    outcome_counters[static_cast<int>(result.records[slot].outcome)]->inc();
+    if (result.records[slot].pre_recovery == Outcome::kHang) {
+      watchdog_hangs.inc();
+    }
+  }
+
+  // Heartbeat sidecar: journaled campaigns stream per-shard progress into
+  // `<journal>.status.jsonl` for `gpufi status` (obs/heartbeat.h).
+  std::unique_ptr<obs::HeartbeatWriter> heartbeat;
+  if (config.journal_path) {
+    obs::HeartbeatState initial;
+    initial.workload = config.workload;
+    initial.arch = config.machine.name;
+    initial.shard_index = config.shard_index;
+    initial.shard_count = config.shard_count;
+    initial.total = result.run_indices.size();
+    initial.outcome_counts.assign(kOutcomeCount, 0);
+    initial.done = result.resumed;
+    for (std::size_t slot = 0; slot < result.run_indices.size(); ++slot) {
+      if (!done[slot]) continue;
+      ++initial.outcome_counts[static_cast<int>(
+          result.records[slot].outcome)];
+    }
+    auto created = obs::HeartbeatWriter::create(
+        obs::status_path_for_journal(*config.journal_path), initial,
+        config.heartbeat_interval_ms);
+    if (!created.is_ok()) return created.status();
+    heartbeat = std::move(created).take();
+  }
+
   std::vector<Status> errors(result.run_indices.size());
   std::vector<u8> pruned_flags(result.run_indices.size(), 0);
   ThreadPool pool(config.threads);
   pool.parallel_for(result.run_indices.size(), [&](std::size_t slot) {
     if (done[slot]) return;
+    attempted.inc();
     bool pruned = false;
+    const auto started = std::chrono::steady_clock::now();
     auto record = run_single(config, result.profile,
                              result.golden_dyn_instrs,
                              result.run_indices[slot],
-                             prune_map ? &*prune_map : nullptr, &pruned);
+                             prune_map ? &*prune_map : nullptr, &pruned,
+                             &reg);
+    latency.observe(
+        std::chrono::duration_cast<std::chrono::duration<f64, std::milli>>(
+            std::chrono::steady_clock::now() - started)
+            .count());
     pruned_flags[slot] = pruned ? 1 : 0;
+    if (pruned) pruned_counter.inc();
     if (record.is_ok()) {
       result.records[slot] = std::move(record).take();
       if (writer) {
         errors[slot] =
             writer->append(result.run_indices[slot], result.records[slot]);
+      }
+      const InjectionRecord& final_record = result.records[slot];
+      completed.inc();
+      outcome_counters[static_cast<int>(final_record.outcome)]->inc();
+      if (final_record.attempts > 1) retries.inc(final_record.attempts - 1);
+      if (final_record.pre_recovery == Outcome::kHang) watchdog_hangs.inc();
+      // After the journal append, so status never runs ahead of the journal.
+      if (heartbeat) {
+        heartbeat->record(static_cast<int>(final_record.outcome));
       }
     } else {
       errors[slot] = record.status();
@@ -536,6 +631,7 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
   for (const InjectionRecord& record : result.records) {
     ++result.outcome_counts[static_cast<int>(record.outcome)];
   }
+  if (heartbeat) heartbeat->finish();
   return result;
 }
 

@@ -28,6 +28,10 @@ namespace gfi::sa {
 struct PruneMap;
 }  // namespace gfi::sa
 
+namespace gfi::obs {
+class Registry;
+}  // namespace gfi::obs
+
 namespace gfi::fi {
 
 /// Classification of one injection run.
@@ -98,6 +102,15 @@ struct CampaignConfig {
   /// never retried — nothing detected them.
   u32 max_retries = 0;
 
+  // --- observability (src/obs) -------------------------------------------
+  /// Metrics sink for campaign counters and latency histograms; nullptr
+  /// uses obs::Registry::global(). Telemetry is purely additive: records,
+  /// RNG streams, and outcome tables are bit-identical with or without it.
+  obs::Registry* metrics = nullptr;
+  /// Heartbeat flush interval for the `<journal>.status.jsonl` sidecar
+  /// (written only when journal_path is set). 0 beats after every record.
+  u64 heartbeat_interval_ms = 2000;
+
   // --- static pruning (sa/ace.h) -----------------------------------------
   /// Skip simulating IOV/PRED sites whose strike footprint is statically
   /// dead (or has nothing to corrupt): the record is credited analytically
@@ -157,12 +170,15 @@ class Campaign {
   /// and the sampled site is prunable, the record is filled analytically
   /// without simulating (and `*pruned_out` is set when provided) — the
   /// record is field-identical to what the simulation would produce.
+  /// `metrics`, when given, receives execution-path selection counters; it
+  /// never influences the record produced.
   static Result<InjectionRecord> run_single(const CampaignConfig& config,
                                             const sim::Profile& profile,
                                             u64 golden_dyn_instrs,
                                             std::size_t run_index,
                                             const sa::PruneMap* prune_map = nullptr,
-                                            bool* pruned_out = nullptr);
+                                            bool* pruned_out = nullptr,
+                                            obs::Registry* metrics = nullptr);
 
   /// Builds the dynamic prune map for `config`'s workload: one fault-free
   /// instrumented launch recording every prunable (group, occurrence) site,

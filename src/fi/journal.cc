@@ -2,167 +2,29 @@
 
 #include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <sstream>
+
+#include "common/jsonl.h"
 
 namespace gfi::fi {
 namespace {
 
-// ------------------------------------------------------------- writing ---
-
-void append_key(std::string& out, const char* key) {
-  if (out.back() != '{') out += ',';
-  out += '"';
-  out += key;
-  out += "\":";
-}
-
-void append_u64(std::string& out, const char* key, u64 value) {
-  append_key(out, key);
-  out += std::to_string(value);
-}
-
-void append_f64(std::string& out, const char* key, f64 value) {
-  char buffer[48];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  append_key(out, key);
-  out += buffer;
-}
-
-void append_str(std::string& out, const char* key, const std::string& value) {
-  append_key(out, key);
-  out += '"';
-  for (char c : value) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  out += '"';
-}
-
-template <std::size_t N>
-void append_array(std::string& out, const char* key,
-                  const std::array<u64, N>& values) {
-  append_key(out, key);
-  out += '[';
-  for (std::size_t i = 0; i < N; ++i) {
-    if (i) out += ',';
-    out += std::to_string(values[i]);
-  }
-  out += ']';
-}
-
-// ------------------------------------------------------------- parsing ---
-
-// Minimal scanner for the flat one-line JSON this journal writes: string,
-// number, and unsigned-array values only, no nesting.
-struct Fields {
-  std::map<std::string, std::string> scalars;  ///< raw text, strings unquoted
-  std::map<std::string, std::vector<u64>> arrays;
-};
-
-bool skip_ws(const std::string& s, std::size_t& pos) {
-  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) {
-    ++pos;
-  }
-  return pos < s.size();
-}
-
-bool parse_quoted(const std::string& s, std::size_t& pos, std::string* out) {
-  if (pos >= s.size() || s[pos] != '"') return false;
-  ++pos;
-  out->clear();
-  while (pos < s.size() && s[pos] != '"') {
-    if (s[pos] == '\\') {
-      if (++pos >= s.size()) return false;
-    }
-    *out += s[pos++];
-  }
-  if (pos >= s.size()) return false;
-  ++pos;  // closing quote
-  return true;
-}
-
-bool parse_fields(const std::string& line, Fields* out) {
-  std::size_t pos = 0;
-  if (!skip_ws(line, pos) || line[pos] != '{') return false;
-  ++pos;
-  if (!skip_ws(line, pos)) return false;
-  if (line[pos] == '}') return true;  // empty object
-  while (true) {
-    std::string key;
-    if (!skip_ws(line, pos) || !parse_quoted(line, pos, &key)) return false;
-    if (!skip_ws(line, pos) || line[pos] != ':') return false;
-    ++pos;
-    if (!skip_ws(line, pos)) return false;
-    if (line[pos] == '"') {
-      std::string value;
-      if (!parse_quoted(line, pos, &value)) return false;
-      out->scalars[key] = value;
-    } else if (line[pos] == '[') {
-      ++pos;
-      std::vector<u64> values;
-      if (!skip_ws(line, pos)) return false;
-      while (line[pos] != ']') {
-        char* end = nullptr;
-        values.push_back(std::strtoull(line.c_str() + pos, &end, 10));
-        if (end == line.c_str() + pos) return false;
-        pos = static_cast<std::size_t>(end - line.c_str());
-        if (!skip_ws(line, pos)) return false;
-        if (line[pos] == ',') {
-          ++pos;
-          if (!skip_ws(line, pos)) return false;
-        }
-      }
-      ++pos;  // ']'
-      out->arrays[key] = std::move(values);
-    } else {
-      const std::size_t start = pos;
-      while (pos < line.size() && line[pos] != ',' && line[pos] != '}') ++pos;
-      if (pos >= line.size()) return false;
-      std::size_t end = pos;
-      while (end > start &&
-             std::isspace(static_cast<unsigned char>(line[end - 1]))) {
-        --end;
-      }
-      out->scalars[key] = line.substr(start, end - start);
-    }
-    if (!skip_ws(line, pos)) return false;
-    if (line[pos] == ',') {
-      ++pos;
-      continue;
-    }
-    if (line[pos] == '}') return true;
-    return false;
-  }
-}
-
-std::optional<u64> get_u64(const Fields& fields, const char* key) {
-  auto it = fields.scalars.find(key);
-  if (it == fields.scalars.end()) return std::nullopt;
-  char* end = nullptr;
-  const u64 value = std::strtoull(it->second.c_str(), &end, 10);
-  if (end == it->second.c_str()) return std::nullopt;
-  return value;
-}
-
-std::optional<f64> get_f64(const Fields& fields, const char* key) {
-  auto it = fields.scalars.find(key);
-  if (it == fields.scalars.end()) return std::nullopt;
-  char* end = nullptr;
-  const f64 value = std::strtod(it->second.c_str(), &end);
-  if (end == it->second.c_str()) return std::nullopt;
-  return value;
-}
-
-std::optional<std::string> get_str(const Fields& fields, const char* key) {
-  auto it = fields.scalars.find(key);
-  if (it == fields.scalars.end()) return std::nullopt;
-  return it->second;
-}
+// Serialization runs on the shared flat-JSONL helpers (common/jsonl.h), the
+// same ones the observability heartbeat stream uses, so escaping, non-finite
+// handling (null <-> NaN), and torn-line behaviour stay uniform.
+using jsonl::append_array;
+using jsonl::append_f64;
+using jsonl::append_str;
+using jsonl::append_u64;
+using jsonl::copy_array;
+using jsonl::Fields;
+using jsonl::get_f64;
+using jsonl::get_str;
+using jsonl::get_u64;
+using jsonl::parse_fields;
 
 // ------------------------------------------------------ name -> enum -----
 
@@ -224,15 +86,6 @@ std::optional<FaultPersistence> persist_from_name(const std::string& name) {
     if (name == to_string(persist)) return persist;
   }
   return std::nullopt;
-}
-
-template <std::size_t N>
-bool copy_array(const Fields& fields, const char* key,
-                std::array<u64, N>* out) {
-  auto it = fields.arrays.find(key);
-  if (it == fields.arrays.end() || it->second.size() != N) return false;
-  std::copy(it->second.begin(), it->second.end(), out->begin());
-  return true;
 }
 
 constexpr const char* kMagic = "gpufi-journal-v1";

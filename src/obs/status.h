@@ -1,0 +1,35 @@
+// Multi-shard campaign status: discovers heartbeat sidecars, pools their
+// latest records, and renders the `gpufi status` progress report — per-shard
+// completion and rate, pooled outcome rates with Wilson 95% CIs, and an ETA.
+//
+// The renderer is deliberately decoupled from fi:: (obs sits below fi in the
+// layering): outcome display names are passed in by the caller, and any
+// outcome index beyond the provided names renders as "outcome<N>".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/heartbeat.h"
+
+namespace gfi::obs {
+
+/// The freshest record of one shard's sidecar, plus where it came from.
+struct ShardStatus {
+  std::string path;
+  HeartbeatState state;
+};
+
+/// Loads shard statuses from `target`: a single `.status.jsonl` file, a
+/// journal path (its sidecar is used), or a directory scanned (non-
+/// recursively) for `*.status.jsonl`. Shards are ordered by shard index.
+/// Fails when nothing loadable is found.
+Result<std::vector<ShardStatus>> load_status(const std::string& target);
+
+/// Renders the status report. `outcome_names[i]` labels outcome index i
+/// (the campaign's fi::Outcome order).
+std::string render_status(const std::vector<ShardStatus>& shards,
+                          const std::vector<std::string>& outcome_names);
+
+}  // namespace gfi::obs

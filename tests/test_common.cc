@@ -4,7 +4,9 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "common/bitutil.h"
@@ -299,6 +301,38 @@ TEST(Histogram, BinEdges) {
   EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
 }
 
+TEST(Histogram, NanSamplesAreDroppedNotBinned) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::nan(""), 2.0);
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 1.0);    // the NaN never entered a bin
+  EXPECT_EQ(h.dropped(), 2.0);  // but its weight is accounted for
+  EXPECT_EQ(h.count(5), 1.0);
+}
+
+TEST(Histogram, DegenerateRangeCollectsEverythingInBinZero) {
+  // lo == hi used to divide by a zero span (UB, then an OOB bin index).
+  Histogram h(3.0, 3.0, 4);
+  h.add(3.0);
+  h.add(-1e300);
+  h.add(1e300);
+  EXPECT_EQ(h.count(0), 3.0);
+  EXPECT_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, InfinitiesAndHugeValuesClampToEdgeBins) {
+  // Values far outside [lo, hi) used to overflow the f64->size_t cast
+  // before the index clamp could run.
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<f64>::infinity());
+  h.add(-std::numeric_limits<f64>::infinity());
+  h.add(1e300);
+  h.add(-1e300);
+  EXPECT_EQ(h.count(0), 2.0);
+  EXPECT_EQ(h.count(9), 2.0);
+  EXPECT_EQ(h.total(), 4.0);
+}
+
 TEST(Histogram, AsciiRenders) {
   Histogram h(0.0, 2.0, 2);
   h.add(0.5, 3.0);
@@ -336,6 +370,41 @@ TEST(ThreadPool, ReusableAcrossBatches) {
     pool.parallel_for(100, [&](std::size_t) { ++counter; });
   }
   EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ThrowingJobRethrownFromWaitIdle) {
+  // A throwing job used to escape worker_loop (std::terminate) and skip the
+  // in_flight_ decrement, deadlocking wait_idle() forever.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&ran, i] {
+      ++ran;
+      if (i == 3) throw std::runtime_error("job 3 failed");
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);  // the rest of the batch still drained
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [](std::size_t i) {
+                          if (i % 16 == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterAJobThrew) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("once"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The exception slot was consumed; the pool keeps working.
+  std::atomic<int> counter{0};
+  pool.parallel_for(50, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 50);
 }
 
 }  // namespace

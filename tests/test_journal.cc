@@ -3,8 +3,10 @@
 // merge, the per-injection watchdog, and the golden-run cache.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "arch/arch.h"
@@ -103,6 +105,33 @@ TEST(Journal, RecordLineRoundTrips) {
   ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
   EXPECT_EQ(parsed.value().first, 99u);
   expect_records_equal(parsed.value().second, record, "roundtrip");
+}
+
+TEST(Journal, NonFiniteErrorMagnitudeStaysValidJsonl) {
+  // %.17g prints the bare `inf`/`nan` tokens, which are not JSON; the shared
+  // jsonl helpers serialize NaN as null (parsed back as NaN) and ±inf as the
+  // overflowing JSON number ±1e999 (parsed back as ±inf, so a record whose
+  // relative error is genuinely infinite still resumes bit-exactly).
+  for (const f64 magnitude : {std::numeric_limits<f64>::quiet_NaN(),
+                              std::numeric_limits<f64>::infinity(),
+                              -std::numeric_limits<f64>::infinity()}) {
+    InjectionRecord record;
+    record.outcome = Outcome::kSdc;
+    record.error_magnitude = magnitude;
+    const std::string line = Journal::record_line(7, record);
+    EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+    EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+    auto parsed = Journal::parse_record(line);
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+    if (std::isnan(magnitude)) {
+      EXPECT_NE(line.find("\"err\":null"), std::string::npos) << line;
+      EXPECT_TRUE(std::isnan(parsed.value().second.error_magnitude)) << line;
+    } else {
+      EXPECT_NE(line.find("1e999"), std::string::npos) << line;
+      EXPECT_EQ(parsed.value().second.error_magnitude, magnitude) << line;
+    }
+    EXPECT_EQ(parsed.value().second.outcome, Outcome::kSdc);
+  }
 }
 
 TEST(Journal, WrittenJournalMatchesInMemoryResult) {

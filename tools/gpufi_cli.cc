@@ -14,6 +14,11 @@
 //                                           over one or all built-in
 //                                           workloads; exits 1 on any
 //                                           error-severity finding
+//   gpufi status <dir|journal|sidecar>      one-shot progress report over the
+//                                           heartbeat sidecars of a running
+//                                           (or finished) campaign: per-shard
+//                                           %, pooled outcome rates with
+//                                           Wilson CIs, ETA. --watch polls.
 //
 // Flags (campaign/compare/golden):
 //   --arch=a100|h100|toy     machine model            (default a100)
@@ -47,17 +52,30 @@
 //   --persist=transient|stuck  whether retries see the fault again
 //                            (default transient)
 //
+// Observability flags:
+//   --metrics-out=<file>     (campaign) write the full obs::Registry
+//                            snapshot (counters/gauges/latency histograms)
+//                            as JSON at campaign end — CI artifact material
+//   --heartbeat-ms=<n>       (campaign) heartbeat sidecar flush interval
+//                            (default 2000; 0 = after every injection)
+//   --watch                  (status) re-render every --interval seconds
+//                            until every reporting shard is done
+//   --interval=<s>           (status) --watch poll period (default 2)
+//
 // Static-analysis flags:
 //   --prune=dead|none        (campaign/compare) skip simulating IOV/PRED
 //                            sites whose destination is statically dead;
 //                            records are credited analytically and outcome
 //                            tables stay bit-identical (default none)
 //   --json                   (lint) machine-readable findings
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/compare.h"
@@ -68,6 +86,8 @@
 #include "fi/campaign.h"
 #include "fi/golden_cache.h"
 #include "fi/journal.h"
+#include "obs/registry.h"
+#include "obs/status.h"
 #include "harden/swift.h"
 #include "recover/abft.h"
 #include "sa/lint.h"
@@ -104,12 +124,17 @@ struct Options {
   std::string persist = "transient";
   std::string prune = "none";
   bool json = false;
+  std::optional<std::string> metrics_out;
+  u64 heartbeat_ms = 2000;
+  bool watch = false;
+  u64 interval_s = 2;  ///< --watch poll period
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: gpufi <list|disasm|golden|campaign|compare|merge|lint> "
-               "[workload|journal...] [--flags]\n(see the header of "
+               "usage: gpufi "
+               "<list|disasm|golden|campaign|compare|merge|lint|status> "
+               "[workload|journal|dir...] [--flags]\n(see the header of "
                "tools/gpufi_cli.cc for the flag reference)\n");
   return 2;
 }
@@ -275,6 +300,35 @@ std::optional<Options> parse(int argc, char** argv) {
       options.json = true;
       continue;
     }
+    if (parse_flag(arg, "metrics-out", &value)) {
+      options.metrics_out = value;
+      continue;
+    }
+    if (parse_flag(arg, "heartbeat-ms", &value)) {
+      auto parsed = cli::parse_u64(value);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "bad --heartbeat-ms '%s' (want a non-negative integer)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.heartbeat_ms = *parsed;
+      continue;
+    }
+    if (arg == "--watch") {
+      options.watch = true;
+      continue;
+    }
+    if (parse_flag(arg, "interval", &value)) {
+      auto parsed = cli::parse_u64(value);
+      if (!parsed || *parsed == 0) {
+        std::fprintf(stderr, "bad --interval '%s' (want a positive integer)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.interval_s = *parsed;
+      continue;
+    }
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
     return std::nullopt;
   }
@@ -359,6 +413,7 @@ std::optional<fi::CampaignConfig> campaign_config(const Options& options) {
   config.journal_path = options.journal;
   config.watchdog_instrs = options.watchdog;
   config.threads = options.threads;
+  config.heartbeat_interval_ms = options.heartbeat_ms;
   config.prune_dead_sites = options.prune == "dead";
   if (options.golden_cache) {
     fi::GoldenCache::instance().set_directory(*options.golden_cache);
@@ -414,6 +469,11 @@ int cmd_golden(const Options& options) {
 int cmd_campaign(const Options& options) {
   auto config = campaign_config(options);
   if (!config) return 2;
+  // A per-invocation registry keeps the --metrics-out snapshot scoped to
+  // exactly this campaign (the process-global registry would accumulate
+  // across compare's two runs).
+  obs::Registry metrics;
+  config->metrics = &metrics;
   auto result = fi::Campaign::run(*config);
   if (!result.is_ok()) {
     std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
@@ -457,7 +517,49 @@ int cmd_campaign(const Options& options) {
   if (options.records) {
     (void)analysis::write_records_csv(result.value(), *options.records);
   }
+  if (options.metrics_out) {
+    std::ofstream out(*options.metrics_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics snapshot to %s\n",
+                   options.metrics_out->c_str());
+      return 1;
+    }
+    out << metrics.snapshot().to_json();
+    std::printf("metrics snapshot written to %s\n",
+                options.metrics_out->c_str());
+  }
   return 0;
+}
+
+/// Outcome display names in fi::Outcome index order, for the status report.
+std::vector<std::string> outcome_names() {
+  std::vector<std::string> names;
+  names.reserve(fi::kOutcomeCount);
+  for (int o = 0; o < fi::kOutcomeCount; ++o) {
+    names.emplace_back(fi::to_string(static_cast<fi::Outcome>(o)));
+  }
+  return names;
+}
+
+int cmd_status(const Options& options) {
+  const std::vector<std::string> names = outcome_names();
+  while (true) {
+    auto shards = obs::load_status(options.workload);
+    if (!shards.is_ok()) {
+      std::fprintf(stderr, "%s\n", shards.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s", obs::render_status(shards.value(), names).c_str());
+    if (!options.watch) return 0;
+    bool all_done = true;
+    for (const obs::ShardStatus& shard : shards.value()) {
+      all_done = all_done && shard.state.finished;
+    }
+    if (all_done) return 0;
+    std::printf("\n");
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(options.interval_s));
+  }
 }
 
 int cmd_compare(Options options) {
@@ -607,6 +709,8 @@ int main(int argc, char** argv) {
   if (options->command == "lint") return cmd_lint(*options);
   if (options->workload.empty()) return usage();
   if (options->command == "merge") return cmd_merge(*options);
+  // `status` takes a directory / journal / sidecar path in the workload slot.
+  if (options->command == "status") return cmd_status(*options);
   if (options->command == "disasm") return cmd_disasm(*options);
   if (options->command == "golden") return cmd_golden(*options);
   if (options->command == "campaign") return cmd_campaign(*options);
