@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "arch/arch.h"
+#include "common/simd.h"
 #include "sassim/device.h"
 #include "workloads/workload.h"
 
@@ -124,6 +125,7 @@ int main() {
   const sim::MachineConfig machine = arch::a100();
 
   std::printf("Simulator path throughput (A100 model, hook-free launches)\n");
+  std::printf("simd backend: %s\n", simd::backend());
   std::printf("%-12s %15s %15s %9s\n", "workload", "clean (wi/s)",
               "instrumented", "speedup");
 
@@ -162,13 +164,15 @@ int main() {
   }
   std::fprintf(out,
                "{\n  \"bench\": \"sim_paths\",\n  \"arch\": \"%s\",\n"
+               "  \"simd\": \"%s\",\n"
                "  \"workloads\": [\n%s  ],\n"
                "  \"geomean_speedup\": %.3f,\n"
                "  \"gate_speedup\": %.1f,\n"
                "  \"gemm_clean_warp_instrs_per_sec\": %.0f,\n"
                "  \"gemm_pre_refactor_empty_hook_warp_instrs_per_sec\": %.0f,\n"
                "  \"gemm_clean_speedup_vs_pre_refactor\": %.3f\n}\n",
-               machine.name.c_str(), rows.c_str(), geomean, kGateSpeedup,
+               machine.name.c_str(), simd::backend(), rows.c_str(), geomean,
+               kGateSpeedup,
                gemm_clean, kPreRefactorGemmRate, vs_pre_refactor);
   std::fclose(out);
 

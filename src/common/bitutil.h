@@ -2,6 +2,7 @@
 #pragma once
 
 #include <bit>
+#include <cmath>
 #include <cstring>
 
 #include "common/types.h"
@@ -35,6 +36,48 @@ constexpr u32 lo32(u64 v) { return static_cast<u32>(v); }
 constexpr u32 hi32(u64 v) { return static_cast<u32>(v >> 32); }
 constexpr u64 make64(u32 lo, u32 hi) {
   return static_cast<u64>(hi) << 32 | lo;
+}
+
+/// Canonical quiet-NaN bit patterns, and a canonicalizer for float results.
+/// IEEE-754 leaves the payload of a NaN *result* unspecified when an input
+/// is NaN, and x86 resolves it by operand position (src1's payload wins) —
+/// which the compiler may legally permute per context for commutative ops,
+/// so `a + b` on two NaNs is not even stable between two compilations of
+/// the same source. Real NVIDIA GPUs sidestep the whole question by
+/// returning one canonical NaN (0x7fffffff) from float ops; the executor
+/// does the same: every FADD/FMUL/FFMA result is passed through
+/// canon_nan(), making NaN arithmetic bit-reproducible across backends,
+/// builds, and execution paths (and more faithful to the modeled hardware).
+inline constexpr u32 kCanonNanBitsF32 = 0x7fffffffu;
+inline constexpr u64 kCanonNanBitsF64 = 0x7ff8000000000000ull;
+inline f32 canon_nan(f32 v) {
+  return std::isnan(v) ? std::bit_cast<f32>(kCanonNanBitsF32) : v;
+}
+inline f64 canon_nan(f64 v) {
+  return std::isnan(v) ? std::bit_cast<f64>(kCanonNanBitsF64) : v;
+}
+
+/// Deterministic float min/max: std::fmin/fmax's NaN-discarding contract
+/// with every case the standard leaves unspecified pinned down — ties
+/// (including fmin(+0.0, -0.0)) and two-NaN inputs return the FIRST
+/// operand, and NaN payloads pass through bit-unchanged. std::fmin itself
+/// is not safe for bit-reproducible state: its ±0/NaN tie-breaks are
+/// implementation choices, so the same source can legally compile to
+/// libm in one context and a minps-style sequence with the opposite
+/// tie-break in an auto-vectorized one. These are fully specified at the
+/// C++ value level, so every compilation — scalar, auto-vectorized, or
+/// the AVX2 simd backend — must produce identical bits. The executor
+/// (FMNMX, float atomics), host-side goldens, and common/simd.h all
+/// funnel float min/max through these two functions.
+template <typename T>
+[[nodiscard]] inline T fmin_det(T x, T y) {
+  if (y < x) return y;
+  return (std::isnan(x) && !std::isnan(y)) ? y : x;
+}
+template <typename T>
+[[nodiscard]] inline T fmax_det(T x, T y) {
+  if (x < y) return y;
+  return (std::isnan(x) && !std::isnan(y)) ? y : x;
 }
 
 /// TF32 rounding: truncates an FP32 mantissa to 10 explicit bits, the input

@@ -10,6 +10,7 @@
 
 #include "common/bitutil.h"
 #include "sassim/decoded.h"
+#include "sassim/exec_vec.h"
 #include "sassim/profiler.h"
 
 namespace gfi::sim {
@@ -276,274 +277,6 @@ struct Simulator::Engine {
     p.total_thread_instrs += lanes;
   }
 
-  // ---- full-warp vector ALU fast path -------------------------------------
-
-  /// Register->register ALU execution with the per-lane operand-kind
-  /// switches hoisted out of the lane loop. Caller guarantees every lane
-  /// executes and no source is a predicate (instr.vec_srcs), so each
-  /// source is one contiguous register row or a broadcast immediate and
-  /// every op body is a flat 32-element loop the compiler can vectorize.
-  /// Per-lane arithmetic is expression-for-expression the generic switch
-  /// in dispatch(), so values and visible state stay bit-identical.
-  /// Returns false for shapes it does not cover (caller falls through).
-  bool vec_alu(WarpState& warp, const DecodedInstr& instr) {
-    u32 scratch[3][kWarpSize];
-    auto srow = [&](int i) -> const u32* {
-      const DecodedOperand& o = instr.src[i];
-      if (o.kind == OperandKind::kReg && o.index != kRegZ) {
-        return warp.row(o.index);
-      }
-      const u32 v = o.kind == OperandKind::kImm ? lo32(o.imm) : 0u;
-      u32* s = scratch[i];
-      for (u32 l = 0; l < kWarpSize; ++l) s[l] = v;
-      return s;
-    };
-    // Writes to RZ are dropped: they land in a sink row instead.
-    u32 sink[kWarpSize];
-    auto drow = [&]() -> u32* {
-      return instr.dst_index != kRegZ ? warp.row(instr.dst_index) : sink;
-    };
-
-    switch (instr.op) {
-      case Opcode::kMov: {
-        if (instr.wide) return false;
-        const u32* a = srow(0);
-        u32* d = drow();
-        for (u32 l = 0; l < kWarpSize; ++l) d[l] = a[l];
-        return true;
-      }
-
-      case Opcode::kSel: {
-        if (instr.wide) return false;
-        const u32* a = srow(0);
-        const u32* b = srow(1);
-        u32* d = drow();
-        const DecodedOperand& oc = instr.src[2];
-        if (oc.kind == OperandKind::kReg && oc.index != kRegZ) {
-          const u32* c = warp.row(oc.index);
-          for (u32 l = 0; l < kWarpSize; ++l) d[l] = c[l] != 0 ? a[l] : b[l];
-        } else {
-          // Constant selector: the generic path tests the full 64-bit
-          // immediate, so do the same once and copy the chosen source.
-          const u32* chosen =
-              (oc.kind == OperandKind::kImm && oc.imm != 0) ? a : b;
-          for (u32 l = 0; l < kWarpSize; ++l) d[l] = chosen[l];
-        }
-        return true;
-      }
-
-      case Opcode::kIAdd: {
-        if (instr.wide) return false;
-        const u32* a = srow(0);
-        const u32* b = srow(1);
-        u32* d = drow();
-        for (u32 l = 0; l < kWarpSize; ++l) d[l] = a[l] + b[l];
-        return true;
-      }
-
-      case Opcode::kIMul: {
-        if (instr.wide) return false;
-        const u32* a = srow(0);
-        const u32* b = srow(1);
-        u32* d = drow();
-        for (u32 l = 0; l < kWarpSize; ++l) d[l] = a[l] * b[l];
-        return true;
-      }
-
-      case Opcode::kIMad: {
-        if (instr.dtype == DType::kU64) {
-          // IMAD.WIDE: 32x32 product into a 64-bit accumulator, spread
-          // over a register-pair row each for C and D.
-          const u32* a = srow(0);
-          const u32* b = srow(1);
-          const DecodedOperand& oc = instr.src[2];
-          u32 clo_s[kWarpSize];
-          u32 chi_s[kWarpSize];
-          const u32* clo;
-          const u32* chi;
-          if (oc.kind == OperandKind::kReg && oc.index != kRegZ) {
-            clo = warp.row(oc.index);
-            chi = warp.row(static_cast<u16>(oc.index + 1));
-          } else {
-            const u64 v = oc.kind == OperandKind::kImm ? oc.imm : 0;
-            for (u32 l = 0; l < kWarpSize; ++l) {
-              clo_s[l] = lo32(v);
-              chi_s[l] = hi32(v);
-            }
-            clo = clo_s;
-            chi = chi_s;
-          }
-          if (instr.dst_index == kRegZ) return true;
-          u32* dlo = warp.row(instr.dst_index);
-          u32* dhi = warp.row(static_cast<u16>(instr.dst_index + 1));
-          for (u32 l = 0; l < kWarpSize; ++l) {
-            const u64 r =
-                static_cast<u64>(a[l]) * b[l] + make64(clo[l], chi[l]);
-            dlo[l] = lo32(r);
-            dhi[l] = hi32(r);
-          }
-          return true;
-        }
-        if (instr.wide) return false;
-        const u32* a = srow(0);
-        const u32* b = srow(1);
-        const u32* c = srow(2);
-        u32* d = drow();
-        for (u32 l = 0; l < kWarpSize; ++l) d[l] = a[l] * b[l] + c[l];
-        return true;
-      }
-
-      case Opcode::kIMnmx: {
-        if (instr.wide) return false;
-        const u32* a = srow(0);
-        const u32* b = srow(1);
-        u32* d = drow();
-        const bool want_min = instr.sub == static_cast<u8>(MinMax::kMin);
-        if (instr.dtype == DType::kS32) {
-          for (u32 l = 0; l < kWarpSize; ++l) {
-            const bool a_less = static_cast<i32>(a[l]) < static_cast<i32>(b[l]);
-            d[l] = (a_less == want_min) ? a[l] : b[l];
-          }
-        } else {
-          for (u32 l = 0; l < kWarpSize; ++l) {
-            d[l] = ((a[l] < b[l]) == want_min) ? a[l] : b[l];
-          }
-        }
-        return true;
-      }
-
-      case Opcode::kISetp: {
-        if (instr.wide) return false;
-        const u32* a = srow(0);
-        const u32* b = srow(1);
-        const auto cmp = static_cast<CmpOp>(instr.sub);
-        const auto p = static_cast<u8>(instr.dst_index);
-        for (u32 l = 0; l < kWarpSize; ++l) {
-          warp.set_pred(l, p, int_compare(cmp, a[l], b[l], instr.dtype));
-        }
-        return true;
-      }
-
-      case Opcode::kLop: {
-        if (instr.wide) return false;
-        const u32* a = srow(0);
-        const u32* b = srow(1);
-        u32* d = drow();
-        switch (static_cast<LopKind>(instr.sub)) {
-          case LopKind::kAnd:
-            for (u32 l = 0; l < kWarpSize; ++l) d[l] = a[l] & b[l];
-            break;
-          case LopKind::kOr:
-            for (u32 l = 0; l < kWarpSize; ++l) d[l] = a[l] | b[l];
-            break;
-          case LopKind::kXor:
-            for (u32 l = 0; l < kWarpSize; ++l) d[l] = a[l] ^ b[l];
-            break;
-          case LopKind::kNot:
-            for (u32 l = 0; l < kWarpSize; ++l) d[l] = ~a[l];
-            break;
-        }
-        return true;
-      }
-
-      case Opcode::kShf: {
-        if (instr.wide) return false;
-        const u32* a = srow(0);
-        const u32* b = srow(1);
-        u32* d = drow();
-        switch (static_cast<ShiftKind>(instr.sub)) {
-          case ShiftKind::kLeft:
-            for (u32 l = 0; l < kWarpSize; ++l) d[l] = a[l] << (b[l] & 31u);
-            break;
-          case ShiftKind::kRightLogical:
-            for (u32 l = 0; l < kWarpSize; ++l) d[l] = a[l] >> (b[l] & 31u);
-            break;
-          case ShiftKind::kRightArith:
-            for (u32 l = 0; l < kWarpSize; ++l) {
-              d[l] = static_cast<u32>(static_cast<i32>(a[l]) >> (b[l] & 31u));
-            }
-            break;
-        }
-        return true;
-      }
-
-      case Opcode::kPopc: {
-        if (instr.wide) return false;
-        const u32* a = srow(0);
-        u32* d = drow();
-        for (u32 l = 0; l < kWarpSize; ++l) {
-          d[l] = static_cast<u32>(std::popcount(a[l]));
-        }
-        return true;
-      }
-
-      case Opcode::kFAdd:
-      case Opcode::kFMul:
-      case Opcode::kFMnmx: {
-        if (instr.dtype != DType::kF32) return false;
-        const u32* a = srow(0);
-        const u32* b = srow(1);
-        u32* d = drow();
-        if (instr.op == Opcode::kFAdd) {
-          for (u32 l = 0; l < kWarpSize; ++l) {
-            d[l] = f32_bits(bits_f32(a[l]) + bits_f32(b[l]));
-          }
-        } else if (instr.op == Opcode::kFMul) {
-          for (u32 l = 0; l < kWarpSize; ++l) {
-            d[l] = f32_bits(bits_f32(a[l]) * bits_f32(b[l]));
-          }
-        } else if (instr.sub == static_cast<u8>(MinMax::kMin)) {
-          for (u32 l = 0; l < kWarpSize; ++l) {
-            d[l] = f32_bits(std::fmin(bits_f32(a[l]), bits_f32(b[l])));
-          }
-        } else {
-          for (u32 l = 0; l < kWarpSize; ++l) {
-            d[l] = f32_bits(std::fmax(bits_f32(a[l]), bits_f32(b[l])));
-          }
-        }
-        return true;
-      }
-
-      case Opcode::kFFma: {
-        if (instr.dtype != DType::kF32) return false;
-        const u32* a = srow(0);
-        const u32* b = srow(1);
-        const u32* c = srow(2);
-        u32* d = drow();
-        for (u32 l = 0; l < kWarpSize; ++l) {
-          d[l] = f32_bits(std::fmaf(bits_f32(a[l]), bits_f32(b[l]),
-                                    bits_f32(c[l])));
-        }
-        return true;
-      }
-
-      case Opcode::kFSetp: {
-        if (instr.dtype != DType::kF32) return false;
-        const u32* a = srow(0);
-        const u32* b = srow(1);
-        const auto cmp = static_cast<CmpOp>(instr.sub);
-        const auto p = static_cast<u8>(instr.dst_index);
-        for (u32 l = 0; l < kWarpSize; ++l) {
-          warp.set_pred(l, p, fp_compare(cmp, bits_f32(a[l]), bits_f32(b[l])));
-        }
-        return true;
-      }
-
-      case Opcode::kI2F: {
-        if (instr.dtype == DType::kF64) return false;
-        const u32* a = srow(0);
-        u32* d = drow();
-        for (u32 l = 0; l < kWarpSize; ++l) {
-          d[l] = f32_bits(static_cast<f32>(static_cast<i32>(a[l])));
-        }
-        return true;
-      }
-
-      default:
-        return false;
-    }
-  }
-
   // ---- one dynamic warp instruction ---------------------------------------
 
   template <typename Policy>
@@ -604,8 +337,12 @@ struct Simulator::Engine {
   TrapKind dispatch(Cta& cta, WarpState& warp, const DecodedInstr& instr,
                     u32 exec, [[maybe_unused]] InstrContext* ctx) {
     // Full-warp vector fast path: pure register/immediate ALU ops with all
-    // 32 lanes executing skip the per-lane operand machinery entirely.
-    if (exec == kFullMask && instr.vec_srcs && vec_alu(warp, instr)) {
+    // 32 lanes executing skip the per-lane operand machinery entirely and
+    // run on simd rows (exec_vec.h). Clean policy only: the instrumented
+    // path keeps the generic per-lane loop below, whose cost is part of the
+    // preserved pre-refactor inner loop it stands in for.
+    if (!Policy::kInstrumented && exec == kFullMask && instr.vec_srcs &&
+        exec::vec_alu(warp, instr)) {
       ++warp.pc;
       return TrapKind::kNone;
     }
@@ -849,19 +586,21 @@ struct Simulator::Engine {
             const f64 a = bits_f64(src(lane, 0, DType::kF64));
             const f64 b = bits_f64(src(lane, 1, DType::kF64));
             f64 value = 0;
-            if (instr.op == Opcode::kFAdd) value = a + b;
-            else if (instr.op == Opcode::kFMul) value = a * b;
+            // canon_nan: NaN-payload results of +/* are not stable across
+            // compilations (bitutil.h); FMNMX passes operand bits through.
+            if (instr.op == Opcode::kFAdd) value = canon_nan(a + b);
+            else if (instr.op == Opcode::kFMul) value = canon_nan(a * b);
             else value = instr.sub == static_cast<u8>(MinMax::kMin)
-                             ? std::fmin(a, b) : std::fmax(a, b);
+                             ? fmin_det(a, b) : fmax_det(a, b);
             write_dst(warp, lane, instr, f64_bits(value));
           } else {
             const f32 a = bits_f32(static_cast<u32>(src(lane, 0, DType::kF32)));
             const f32 b = bits_f32(static_cast<u32>(src(lane, 1, DType::kF32)));
             f32 value = 0;
-            if (instr.op == Opcode::kFAdd) value = a + b;
-            else if (instr.op == Opcode::kFMul) value = a * b;
+            if (instr.op == Opcode::kFAdd) value = canon_nan(a + b);
+            else if (instr.op == Opcode::kFMul) value = canon_nan(a * b);
             else value = instr.sub == static_cast<u8>(MinMax::kMin)
-                             ? std::fmin(a, b) : std::fmax(a, b);
+                             ? fmin_det(a, b) : fmax_det(a, b);
             write_dst(warp, lane, instr, f32_bits(value));
           }
         });
@@ -873,12 +612,12 @@ struct Simulator::Engine {
             const f64 a = bits_f64(src(lane, 0, DType::kF64));
             const f64 b = bits_f64(src(lane, 1, DType::kF64));
             const f64 c = bits_f64(src(lane, 2, DType::kF64));
-            write_dst(warp, lane, instr, f64_bits(std::fma(a, b, c)));
+            write_dst(warp, lane, instr, f64_bits(canon_nan(std::fma(a, b, c))));
           } else {
             const f32 a = bits_f32(static_cast<u32>(src(lane, 0, DType::kF32)));
             const f32 b = bits_f32(static_cast<u32>(src(lane, 1, DType::kF32)));
             const f32 c = bits_f32(static_cast<u32>(src(lane, 2, DType::kF32)));
-            write_dst(warp, lane, instr, f32_bits(std::fmaf(a, b, c)));
+            write_dst(warp, lane, instr, f32_bits(canon_nan(std::fmaf(a, b, c))));
           }
         });
         break;
@@ -958,47 +697,33 @@ struct Simulator::Engine {
         // partial progress on a trap match the generic loop exactly; any
         // pending upset bails to the generic loop so ECC classification is
         // never skipped.
-        if (instr.op == Opcode::kLdg && exec == kFullMask && width == 4 &&
+        if (!Policy::kInstrumented && instr.op == Opcode::kLdg &&
+            exec == kFullMask && width == 4 &&
             instr.src[0].kind == OperandKind::kReg &&
             instr.src[0].index != kRegZ && instr.dst_index != kRegZ &&
             mem.fault_free()) {
-          const u32* alo = warp.row(instr.src[0].index);
-          const u32* ahi = warp.row(static_cast<u16>(instr.src[0].index + 1));
-          const u64 off = instr.src[1].is_imm() ? instr.src[1].imm : 0;
-          u32* d = warp.row(instr.dst_index);
-          for (u32 lane = 0; lane < kWarpSize; ++lane) {
-            const u64 addr = make64(alo[lane], ahi[lane]) + off;
-            if (addr % 4 != 0) {
-              return fire(TrapKind::kMisalignedAddress, cta, warp, addr);
-            }
-            if (!mem.read_u32_nofault(addr, &d[lane])) {
-              return fire(TrapKind::kIllegalGlobalAddress, cta, warp, addr);
-            }
+          const exec::RowMemResult row = exec::ldg_row(warp, instr, mem);
+          if (row.state == exec::RowMem::kTrap) {
+            return fire(row.trap, cta, warp, row.addr);
           }
-          break;
+          if (row.state == exec::RowMem::kDone) break;
+          // kNotApplicable: a lane would trap on alignment; the generic
+          // loop below reproduces the exact lane-order trap.
         }
-        // Matching full-warp 32-bit store. Only when no hook is attached:
-        // store-address transforms must see every lane individually.
-        if (instr.op == Opcode::kStg && exec == kFullMask && width == 4 &&
-            mem.fault_free() && opts.hooks.empty() &&
+        // Matching full-warp 32-bit store. Clean policy only (which implies
+        // no hooks): store-address transforms must see every lane
+        // individually, and the instrumented baseline keeps the lane loop.
+        if (!Policy::kInstrumented && instr.op == Opcode::kStg &&
+            exec == kFullMask && width == 4 && mem.fault_free() &&
             instr.src[0].kind == OperandKind::kReg &&
             instr.src[0].index != kRegZ &&
             instr.src[2].kind == OperandKind::kReg &&
             instr.src[2].index != kRegZ) {
-          const u32* alo = warp.row(instr.src[0].index);
-          const u32* ahi = warp.row(static_cast<u16>(instr.src[0].index + 1));
-          const u64 off = instr.src[1].is_imm() ? instr.src[1].imm : 0;
-          const u32* v = warp.row(instr.src[2].index);
-          for (u32 lane = 0; lane < kWarpSize; ++lane) {
-            const u64 addr = make64(alo[lane], ahi[lane]) + off;
-            if (addr % 4 != 0) {
-              return fire(TrapKind::kMisalignedAddress, cta, warp, addr);
-            }
-            if (!mem.write_u32_nofault(addr, v[lane])) {
-              return fire(TrapKind::kIllegalGlobalAddress, cta, warp, addr);
-            }
+          const exec::RowMemResult row = exec::stg_row(warp, instr, mem);
+          if (row.state == exec::RowMem::kTrap) {
+            return fire(row.trap, cta, warp, row.addr);
           }
-          break;
+          if (row.state == exec::RowMem::kDone) break;
         }
         for (u32 lane = 0; lane < kWarpSize; ++lane) {
           if (!((exec >> lane) & 1u)) continue;
@@ -1046,41 +771,27 @@ struct Simulator::Engine {
         const u32 width = instr.mem_width;
         // Hoisted full-warp 32-bit shared accesses, mirroring the LDG fast
         // path: address rows read once, identical trap checks in lane order.
-        if (exec == kFullMask && width == 4 &&
+        if (!Policy::kInstrumented && exec == kFullMask && width == 4 &&
             instr.src[0].kind == OperandKind::kReg &&
             instr.src[0].index != kRegZ) {
-          const u32* a = warp.row(instr.src[0].index);
-          const u64 off = instr.src[1].is_imm() ? instr.src[1].imm : 0;
           if (instr.op == Opcode::kLds && instr.dst_index != kRegZ) {
-            u32* d = warp.row(instr.dst_index);
-            for (u32 lane = 0; lane < kWarpSize; ++lane) {
-              const u64 addr = a[lane] + off;
-              if (addr % 4 != 0) {
-                return fire(TrapKind::kMisalignedAddress, cta, warp, addr);
-              }
-              if (addr + 4 > cta.shared.size()) {
-                return fire(TrapKind::kIllegalSharedAddress, cta, warp, addr);
-              }
-              std::memcpy(&d[lane], cta.shared.data() + addr, 4);
+            if (exec::lds_row(warp, instr, cta.shared.data(),
+                              cta.shared.size())
+                    .state == exec::RowMem::kDone) {
+              break;
             }
-            break;
           }
           if (instr.op == Opcode::kSts &&
               instr.src[2].kind == OperandKind::kReg &&
               instr.src[2].index != kRegZ) {
-            const u32* v = warp.row(instr.src[2].index);
-            for (u32 lane = 0; lane < kWarpSize; ++lane) {
-              const u64 addr = a[lane] + off;
-              if (addr % 4 != 0) {
-                return fire(TrapKind::kMisalignedAddress, cta, warp, addr);
-              }
-              if (addr + 4 > cta.shared.size()) {
-                return fire(TrapKind::kIllegalSharedAddress, cta, warp, addr);
-              }
-              std::memcpy(cta.shared.data() + addr, &v[lane], 4);
+            if (exec::sts_row(warp, instr, cta.shared.data(),
+                              cta.shared.size())
+                    .state == exec::RowMem::kDone) {
+              break;
             }
-            break;
           }
+          // Row path declined (a lane would trap): the generic loop below
+          // reproduces the exact lane-order trap and partial progress.
         }
         for (u32 lane = 0; lane < kWarpSize; ++lane) {
           if (!((exec >> lane) & 1u)) continue;
@@ -1145,14 +856,14 @@ struct Simulator::Engine {
           switch (static_cast<AtomKind>(instr.sub)) {
             case AtomKind::kAdd:
               if (instr.dtype == DType::kF32) {
-                updated = f32_bits(bits_f32(old) + bits_f32(a));
+                updated = f32_bits(canon_nan(bits_f32(old) + bits_f32(a)));
               } else {
                 updated = old + a;
               }
               break;
             case AtomKind::kMin:
               if (instr.dtype == DType::kF32) {
-                updated = f32_bits(std::fmin(bits_f32(old), bits_f32(a)));
+                updated = f32_bits(fmin_det(bits_f32(old), bits_f32(a)));
               } else if (instr.dtype == DType::kS32) {
                 updated = static_cast<u32>(std::min(static_cast<i32>(old),
                                                     static_cast<i32>(a)));
@@ -1162,7 +873,7 @@ struct Simulator::Engine {
               break;
             case AtomKind::kMax:
               if (instr.dtype == DType::kF32) {
-                updated = f32_bits(std::fmax(bits_f32(old), bits_f32(a)));
+                updated = f32_bits(fmax_det(bits_f32(old), bits_f32(a)));
               } else if (instr.dtype == DType::kS32) {
                 updated = static_cast<u32>(std::max(static_cast<i32>(old),
                                                     static_cast<i32>(a)));

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/bitutil.h"
+#include "common/simd.h"
 #include "common/types.h"
 #include "sassim/isa.h"
 
@@ -61,20 +62,14 @@ class WarpState {
   }
 
   /// Bit-identical to guard_mask(), evaluated bit-parallel over the packed
-  /// predicate bytes instead of lane by lane. The clean execution path's
-  /// per-instruction guard evaluation; the instrumented path keeps the
-  /// per-lane walk above, whose cost is part of the preserved pre-refactor
-  /// inner loop it stands in for.
+  /// predicate bytes instead of lane by lane (simd::testbit_mask32: one
+  /// byte-compare + movemask under AVX2, the multiply trick in the scalar
+  /// backend). The clean execution path's per-instruction guard evaluation;
+  /// the instrumented path keeps the per-lane walk above, whose cost is
+  /// part of the preserved pre-refactor inner loop it stands in for.
   [[nodiscard]] u32 guard_mask_fast(u8 p, bool negated) const {
     if (p == kPredT) return negated ? 0u : active_;
-    u32 raw = 0;
-    for (u32 q = 0; q < 4; ++q) {
-      u64 chunk;
-      std::memcpy(&chunk, preds_ + q * 8, 8);
-      // Low bit of each byte -> one mask bit per lane, carry-free.
-      const u64 bits = (chunk >> p) & 0x0101010101010101ull;
-      raw |= static_cast<u32>((bits * 0x0102040810204080ull) >> 56) << (q * 8);
-    }
+    u32 raw = simd::testbit_mask32(preds_, p);
     if (negated) raw = ~raw;
     return raw & active_;
   }
@@ -127,6 +122,19 @@ class WarpState {
       preds_[lane] = static_cast<u8>(preds_[lane] & ~(1u << p));
     }
   }
+  /// Sets predicate `p` of all 32 lanes at once from a lane bitmask, as the
+  /// vector ISETP/FSETP paths produce one. Identical to 32 set_pred calls
+  /// (writes to PT are dropped); every lane is written, matching a
+  /// full-warp compare under the generic loop.
+  void set_pred_row(u8 p, u32 lanemask) {
+    if (p == kPredT) return;
+    const u8 bit = static_cast<u8>(1u << p);
+    for (u32 lane = 0; lane < kWarpSize; ++lane) {
+      const u8 set = ((lanemask >> lane) & 1u) != 0 ? bit : u8{0};
+      preds_[lane] = static_cast<u8>((preds_[lane] & ~bit) | set);
+    }
+  }
+
   /// Raw predicate byte of a lane (fault-injection access).
   [[nodiscard]] u8 pred_bits(u32 lane) const { return preds_[lane]; }
   void set_pred_bits(u32 lane, u8 bits) { preds_[lane] = bits; }

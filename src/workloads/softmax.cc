@@ -2,6 +2,7 @@
 // exp2/rcp, sum-tree, normalize — the suite's transformer-inference proxy.
 #include "workloads/all.h"
 
+#include "common/bitutil.h"
 #include "workloads/kernels_common.h"
 #include "workloads/util.h"
 
@@ -60,7 +61,10 @@ class Softmax final : public Workload {
       for (u32 i = 0; i < kColsN; ++i) scratch[i] = xr[i];
       for (u32 s = kColsN / 2; s > 0; s >>= 1) {
         for (u32 i = 0; i < s; ++i) {
-          scratch[i] = std::fmax(scratch[i], scratch[i + s]);
+          // fmax_det, not std::fmax: the golden must mirror the kernel's
+          // FMNMX bit-for-bit in every build (bitutil.h explains why
+          // std::fmax is not compilation-stable).
+          scratch[i] = fmax_det(scratch[i], scratch[i + s]);
         }
       }
       const f32 neg_max = scratch[0] * -1.0f;

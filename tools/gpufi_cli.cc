@@ -82,6 +82,7 @@
 #include "analysis/report.h"
 #include "arch/arch.h"
 #include "cli_args.h"
+#include "common/simd.h"
 #include "common/table.h"
 #include "fi/campaign.h"
 #include "fi/golden_cache.h"
@@ -98,6 +99,10 @@
 namespace {
 
 using namespace gfi;
+
+/// Bumped per stacked PR; `gpufi version` pairs it with the compiled SIMD
+/// backend so bug reports pin down which execution path produced a journal.
+constexpr const char* kVersion = "0.6.0";
 
 struct Options {
   std::string command;
@@ -133,10 +138,16 @@ struct Options {
 int usage() {
   std::fprintf(stderr,
                "usage: gpufi "
-               "<list|disasm|golden|campaign|compare|merge|lint|status> "
+               "<list|disasm|golden|campaign|compare|merge|lint|status|"
+               "version> "
                "[workload|journal|dir...] [--flags]\n(see the header of "
                "tools/gpufi_cli.cc for the flag reference)\n");
   return 2;
+}
+
+int cmd_version() {
+  std::printf("gpufi %s (simd=%s)\n", kVersion, simd::backend());
+  return 0;
 }
 
 bool parse_flag(const std::string& arg, const std::string& name,
@@ -473,6 +484,9 @@ int cmd_campaign(const Options& options) {
   // exactly this campaign (the process-global registry would accumulate
   // across compare's two runs).
   obs::Registry metrics;
+  // Stamp the compiled execution backend into the snapshot so archived
+  // --metrics-out artifacts say which SIMD path produced the campaign.
+  metrics.counter(std::string("engine.simd.") + simd::backend()).inc();
   config->metrics = &metrics;
   auto result = fi::Campaign::run(*config);
   if (!result.is_ok()) {
@@ -543,6 +557,9 @@ std::vector<std::string> outcome_names() {
 
 int cmd_status(const Options& options) {
   const std::vector<std::string> names = outcome_names();
+  // One line of engine provenance above the shard table (not repeated per
+  // --watch refresh).
+  std::printf("engine: gpufi %s simd=%s\n", kVersion, simd::backend());
   while (true) {
     auto shards = obs::load_status(options.workload);
     if (!shards.is_ok()) {
@@ -704,6 +721,9 @@ int main(int argc, char** argv) {
   gfi::recover::register_abft_workloads();
   auto options = parse(argc, argv);
   if (!options) return usage();
+  if (options->command == "version" || options->command == "--version") {
+    return cmd_version();
+  }
   if (options->command == "list") return cmd_list();
   // `lint` with no workload lints every registered kernel.
   if (options->command == "lint") return cmd_lint(*options);
