@@ -12,7 +12,7 @@ const std::vector<fi::Outcome>& reported_outcomes() {
       fi::Outcome::kSdc,     fi::Outcome::kDue,
       fi::Outcome::kHang,    fi::Outcome::kDetectedCorrected,
       fi::Outcome::kNotActivated, fi::Outcome::kRecoveredRetry,
-      fi::Outcome::kUnrecoverableDue,
+      fi::Outcome::kUnrecoverableDue, fi::Outcome::kQuarantined,
   };
   return kOutcomes;
 }
@@ -92,10 +92,14 @@ RecoverySummary summarize_recovery(const fi::CampaignResult& result) {
     if (was_detected && record.outcome == fi::Outcome::kSdc) {
       ++summary.retried_to_sdc;
     }
-    if (summary.attempts_histogram.size() < record.attempts) {
-      summary.attempts_histogram.resize(record.attempts, 0);
+    // Quarantined records were never launched (attempts == 0): they have no
+    // bin in the 1-based attempts histogram.
+    if (record.attempts > 0) {
+      if (summary.attempts_histogram.size() < record.attempts) {
+        summary.attempts_histogram.resize(record.attempts, 0);
+      }
+      ++summary.attempts_histogram[record.attempts - 1];
     }
-    ++summary.attempts_histogram[record.attempts - 1];
     total_attempts += record.attempts;
     total_dyn += record.dyn_instrs;
   }

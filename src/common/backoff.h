@@ -1,0 +1,39 @@
+// Exponential backoff with deterministic jitter.
+//
+// The supervisor retries crashed shards; naive exponential backoff makes
+// every restarted worker of a mass failure hammer the disk in lockstep,
+// while random jitter makes supervised runs irreproducible. Equal-jitter
+// backoff with the jitter drawn from a splitmix64 hash of
+// (seed, stream, attempt) gives both: retries spread out, and the exact
+// retry schedule of a campaign is a pure function of its seed.
+#pragma once
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace gfi {
+
+/// Delay in ms before retry number `attempt` (1-based; attempt 0 → 0ms).
+/// Exponential base_ms * 2^(attempt-1) capped at cap_ms, then equal-jitter:
+/// half the window fixed, half drawn deterministically from
+/// (jitter_seed, stream, attempt) — `stream` is the retrying entity's id
+/// (e.g. shard index) so co-failing shards never retry in lockstep.
+inline u64 backoff_delay_ms(u32 attempt, u64 base_ms, u64 cap_ms,
+                            u64 jitter_seed, u64 stream) {
+  if (attempt == 0 || base_ms == 0) return 0;
+  const u32 shift = std::min(attempt - 1, 63u);
+  u64 window = (shift < 63 && base_ms <= (cap_ms >> shift)) ? base_ms << shift
+                                                            : cap_ms;
+  window = std::min(window, cap_ms);
+  const u64 half = window / 2;
+  u64 h = jitter_seed;
+  h = splitmix64(h) ^ stream;
+  h = splitmix64(h) ^ attempt;
+  h = splitmix64(h);
+  const u64 jitter = half > 0 ? h % (half + 1) : 0;
+  return window - half + jitter;
+}
+
+}  // namespace gfi

@@ -6,6 +6,8 @@
 #include <memory>
 
 #include "common/bitutil.h"
+#include "common/failpoint.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "fi/golden_cache.h"
@@ -147,6 +149,7 @@ const char* to_string(Outcome outcome) {
     case Outcome::kNotActivated: return "NotActivated";
     case Outcome::kRecoveredRetry: return "RecoveredRetry";
     case Outcome::kUnrecoverableDue: return "UnrecoverableDUE";
+    case Outcome::kQuarantined: return "Quarantined";
   }
   return "?";
 }
@@ -249,6 +252,22 @@ Result<InjectionRecord> Campaign::run_single(const CampaignConfig& config,
   Rng rng = Rng::for_stream(config.seed, run_index);
   auto site = sample_site(config, profile, golden_dyn_instrs, rng);
   if (!site.is_ok()) return site.status();
+
+  // Quarantined injections get their site sampled (the RNG stream and thus
+  // every other record stays bit-identical) but are never simulated — this
+  // is how the supervisor stops a poison injection from killing worker
+  // after worker. attempts = 0 marks "never launched".
+  if (!config.quarantine.empty() && config.is_quarantined(run_index)) {
+    InjectionRecord record;
+    record.site = site.value();
+    record.outcome = record.pre_recovery = Outcome::kQuarantined;
+    record.attempts = 0;
+    record.dyn_instrs = 0;
+    return record;
+  }
+  // Poison-injection modeling for tests/chaos: placed after the quarantine
+  // short-circuit so a quarantined index no longer triggers its kill.
+  if (fp::enabled()) fp::hit("inject.execute", run_index);
 
   // Analytic fast path: nothing after sample_site consumes the RNG for
   // IOV/PRED, so skipping the simulation cannot perturb any other record.
@@ -581,8 +600,13 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
     auto created = obs::HeartbeatWriter::create(
         obs::status_path_for_journal(*config.journal_path), initial,
         config.heartbeat_interval_ms);
-    if (!created.is_ok()) return created.status();
-    heartbeat = std::move(created).take();
+    if (created.is_ok()) {
+      heartbeat = std::move(created).take();
+    } else {
+      // Telemetry must never abort a campaign: run without the sidecar.
+      GFI_LOG(kWarn) << "heartbeat sidecar disabled: "
+                     << created.status().message();
+    }
   }
 
   std::vector<Status> errors(result.run_indices.size());
@@ -590,6 +614,11 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
   ThreadPool pool(config.threads);
   pool.parallel_for(result.run_indices.size(), [&](std::size_t slot) {
     if (done[slot]) return;
+    // Generic chaos site: "worker dies at the n-th injection it attempts"
+    // (or at a specific global index via key=). The kill is executed inside
+    // fp::hit, mid-shard, after some records are already journaled — which
+    // is exactly the crash shape the supervisor must recover from.
+    if (fp::enabled()) fp::hit("campaign.injection", result.run_indices[slot]);
     attempted.inc();
     bool pruned = false;
     const auto started = std::chrono::steady_clock::now();

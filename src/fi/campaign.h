@@ -11,6 +11,7 @@
 // (run_single). Phase 1 results are memoized in fi/golden_cache.h.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <optional>
 #include <string>
@@ -47,10 +48,14 @@ enum class Outcome : u8 {
   // after checkpoint-restore relaunches (recover/retry.h).
   kRecoveredRetry,     ///< trapped, then a relaunch from checkpoint passed
   kUnrecoverableDue,   ///< trapped on every allowed relaunch attempt
+  /// Supervisor verdict, never produced by a simulation: this injection
+  /// repeatedly killed its worker process and was skipped after K attempts
+  /// (CampaignConfig::quarantine) so the rest of the shard could finish.
+  kQuarantined,
 };
 
 inline constexpr int kOutcomeCount =
-    static_cast<int>(Outcome::kUnrecoverableDue) + 1;
+    static_cast<int>(Outcome::kQuarantined) + 1;
 const char* to_string(Outcome outcome);
 
 /// The campaign classifier's trap rule: a watchdog timeout is a Hang,
@@ -94,6 +99,17 @@ struct CampaignConfig {
   std::optional<u64> watchdog_instrs;
 
   // --- recovery ----------------------------------------------------------
+  /// Global injection indices the supervisor has condemned: run_single
+  /// records them as kQuarantined (site still sampled — the RNG stream is
+  /// untouched — but nothing is simulated, so a poison injection that
+  /// crashes the process cannot fire again). Kept out of the journal
+  /// header so a quarantined resume stays compatible with earlier journals.
+  std::vector<u64> quarantine;
+  [[nodiscard]] bool is_quarantined(u64 run_index) const {
+    return std::find(quarantine.begin(), quarantine.end(), run_index) !=
+           quarantine.end();
+  }
+
   /// >0 enables trap-and-retry: a run ending in a detected error (DUE or
   /// Hang) is restored to its pre-launch checkpoint and relaunched up to
   /// this many extra times. A retry that completes and passes its check is

@@ -10,6 +10,7 @@
 #include <unistd.h>
 #endif
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "fi/journal.h"
 
@@ -134,18 +135,35 @@ Result<Campaign::Golden> GoldenCache::get_or_run(
     entries_[key] = golden.value();
   }
   if (!file_path.empty()) {
+    // Persisting is best-effort: the entry is already in memory, so any
+    // disk-layer failure (ENOSPC, read-only mount, permissions) degrades to
+    // memory-only caching with one warning and no partial file left behind
+    // — it must never error the campaign.
     std::error_code ec;
     std::filesystem::create_directories(directory, ec);
+    const bool inject_fail =
+        fp::enabled() &&
+        fp::hit("golden_cache.persist").action == fp::Action::kErr;
     // Write-then-rename so a concurrent shard never reads a torn entry; the
     // pid suffix keeps two shards' temp files from colliding.
     const std::string tmp_path =
         file_path + ".tmp-" + std::to_string(static_cast<long>(getpid()));
     std::ofstream out(tmp_path, std::ios::trunc);
-    if (out) {
+    bool persisted = false;
+    if (out && !inject_fail) {
       out << golden_line(key, golden.value()) << '\n';
       out.close();
-      if (out.good()) std::filesystem::rename(tmp_path, file_path, ec);
-      if (ec) std::filesystem::remove(tmp_path, ec);
+      if (out.good()) {
+        std::filesystem::rename(tmp_path, file_path, ec);
+        persisted = !ec;
+      }
+    }
+    if (!persisted) {
+      GFI_LOG(kWarn) << "golden cache: cannot persist " << file_path
+                     << (inject_fail ? " [failpoint]" : "")
+                     << "; continuing memory-only";
+      std::error_code rm;
+      std::filesystem::remove(tmp_path, rm);
     }
   }
   return golden;

@@ -1,12 +1,16 @@
 #include "fi/journal.h"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/jsonl.h"
 
 namespace gfi::fi {
@@ -460,30 +464,74 @@ Result<std::unique_ptr<JournalWriter>> JournalWriter::open_append(
 Status JournalWriter::append(u64 index, const InjectionRecord& record) {
   const std::string line = Journal::record_line(index, record) + "\n";
   std::lock_guard<std::mutex> lock(mutex_);
+  if (fp::enabled()) {
+    const fp::Hit f = fp::hit("journal.append");
+    if (f.action == fp::Action::kErr) {
+      return Status::internal(
+          "journal append failed: No space left on device [failpoint]");
+    }
+    if (f.action == fp::Action::kTorn) {
+      // Model a crash mid-write: half the line reaches the disk, then the
+      // process dies without running destructors. Resume must drop this
+      // torn tail and re-run the injection.
+      std::fwrite(line.data(), 1, line.size() / 2, file_);
+      std::fflush(file_);
+      std::_Exit(fp::kKillExitCode);
+    }
+  }
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
       std::fflush(file_) != 0) {
     return Status::internal("journal append failed: " +
                             std::string(std::strerror(errno)));
   }
+  if (fp::enabled() &&
+      fp::hit("journal.flush").action == fp::Action::kErr) {
+    return Status::internal("journal flush failed: Input/output error "
+                            "[failpoint]");
+  }
   return Status::ok();
 }
 
-Result<MergedCampaign> merge_journals(const std::vector<std::string>& paths) {
+namespace {
+
+/// Renders "[a, b, c]" for shard-set error messages.
+std::string list_u32(const std::vector<u32>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+Result<MergedCampaign> merge_journals(const std::vector<std::string>& paths,
+                                      const MergeOptions& options) {
   if (paths.empty()) {
     return Status::invalid_argument("merge_journals: no journals given");
   }
   MergedCampaign merged;
   std::vector<bool> covered;
+  // shard index -> path of the journal claiming it (duplicate detection).
+  std::vector<std::string> shard_owner;
+  std::vector<std::string> incomplete_shards;
   for (std::size_t p = 0; p < paths.size(); ++p) {
     auto loaded = Journal::load(paths[p]);
     if (!loaded.is_ok()) return loaded.status();
     const JournalContents& contents = loaded.value();
+    if (contents.header.shard_count == 0) {
+      return Status::internal("journal " + paths[p] +
+                              " has shard_count 0");
+    }
     if (p == 0) {
       merged.header = contents.header;
       merged.header.shard_index = 0;
       merged.header.shard_count = 1;
       merged.records.resize(merged.header.num_injections);
       covered.assign(merged.header.num_injections, false);
+      shard_owner.assign(contents.header.shard_count, std::string());
     } else {
       const JournalHeader& h = contents.header;
       const JournalHeader& m = merged.header;
@@ -497,6 +545,39 @@ Result<MergedCampaign> merge_journals(const std::vector<std::string>& paths) {
             "journal " + paths[p] +
             " belongs to a different campaign than " + paths[0]);
       }
+      if (contents.header.shard_count != shard_owner.size()) {
+        return Status::failed_precondition(
+            "journal " + paths[p] + " is shard " +
+            std::to_string(contents.header.shard_index) + "/" +
+            std::to_string(contents.header.shard_count) + " but " + paths[0] +
+            " was written with shard_count " +
+            std::to_string(shard_owner.size()) +
+            " — these journals do not partition the same campaign");
+      }
+    }
+    // Shard-set bookkeeping: each shard index may appear exactly once.
+    const u32 shard = contents.header.shard_index;
+    if (shard < shard_owner.size()) {
+      if (!shard_owner[shard].empty()) {
+        return Status::failed_precondition(
+            "duplicate shard " + std::to_string(shard) + "/" +
+            std::to_string(shard_owner.size()) + ": both " +
+            shard_owner[shard] + " and " + paths[p]);
+      }
+      shard_owner[shard] = paths[p];
+    }
+    // This shard's expected slice size (strided partition of the index
+    // space) — fewer journaled records means the shard is unfinished.
+    u64 expected = 0;
+    for (u64 i = shard; i < merged.header.num_injections;
+         i += shard_owner.size()) {
+      ++expected;
+    }
+    if (contents.records.size() < expected) {
+      incomplete_shards.push_back(
+          "shard " + std::to_string(shard) + " (" + paths[p] + "): " +
+          std::to_string(contents.records.size()) + " of " +
+          std::to_string(expected) + " records");
     }
     for (const auto& [index, record] : contents.records) {
       if (index >= merged.header.num_injections) {
@@ -511,18 +592,81 @@ Result<MergedCampaign> merge_journals(const std::vector<std::string>& paths) {
       merged.records[index] = record;
     }
   }
-  u64 missing = 0;
-  for (bool c : covered) missing += c ? 0 : 1;
-  if (missing > 0) {
-    return Status::failed_precondition(
-        "merged journals cover only " + std::to_string(covered.size() - missing) +
-        " of " + std::to_string(covered.size()) +
-        " injections (a shard is missing or incomplete)");
+  if (!options.allow_partial) {
+    std::vector<u32> missing_shards;
+    for (u32 s = 0; s < shard_owner.size(); ++s) {
+      if (shard_owner[s].empty()) missing_shards.push_back(s);
+    }
+    if (!missing_shards.empty()) {
+      return Status::failed_precondition(
+          "merge is missing shard(s) " + list_u32(missing_shards) + " of " +
+          std::to_string(shard_owner.size()) +
+          " (pass --allow-partial to merge what is present)");
+    }
+    if (!incomplete_shards.empty()) {
+      std::string detail;
+      for (const std::string& s : incomplete_shards) {
+        detail += "\n  " + s;
+      }
+      return Status::failed_precondition(
+          "merge has incomplete shard(s):" + detail +
+          "\n(resume them, or pass --allow-partial to merge what is "
+          "present)");
+    }
+  }
+  for (u64 i = 0; i < covered.size(); ++i) {
+    merged.missing += covered[i] ? 0 : 1;
+  }
+  if (merged.missing > 0) {
+    // allow_partial: compact to the covered subsequence, in index order.
+    std::vector<InjectionRecord> present;
+    present.reserve(covered.size() - merged.missing);
+    for (u64 i = 0; i < covered.size(); ++i) {
+      if (!covered[i]) continue;
+      merged.indices.push_back(i);
+      present.push_back(merged.records[i]);
+    }
+    merged.records = std::move(present);
+  } else {
+    merged.indices.resize(merged.records.size());
+    for (u64 i = 0; i < merged.indices.size(); ++i) merged.indices[i] = i;
   }
   for (const InjectionRecord& record : merged.records) {
     ++merged.outcome_counts[static_cast<int>(record.outcome)];
   }
   return merged;
+}
+
+Status write_merged_journal(const std::string& path,
+                            const MergedCampaign& merged) {
+  const std::string tmp = path + ".tmp-" + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::internal("cannot create " + tmp + ": " +
+                              std::strerror(errno));
+    }
+    out << Journal::header_line(merged.header) << '\n';
+    for (std::size_t k = 0; k < merged.records.size(); ++k) {
+      out << Journal::record_line(merged.indices[k], merged.records[k])
+          << '\n';
+    }
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return Status::internal("write to " + tmp + " failed: " +
+                              std::strerror(errno));
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::internal("cannot rename " + tmp + " to " + path + ": " +
+                            ec.message());
+  }
+  return Status::ok();
 }
 
 std::string golden_line(const std::string& key,

@@ -109,11 +109,17 @@ class JournalWriter {
   std::mutex mutex_;
 };
 
-/// A full campaign reassembled from shard journals: records dense over
-/// [0, num_injections) in index order, plus the rebuilt outcome table.
+/// A campaign reassembled from shard journals: records in global index
+/// order (dense over [0, num_injections) unless merged allow_partial), plus
+/// the rebuilt outcome table.
 struct MergedCampaign {
   JournalHeader header;  ///< shard fields reset to 0/1
   std::vector<InjectionRecord> records;
+  /// Global injection index of records[k]. Identity for a complete merge;
+  /// the surviving subsequence for a partial one.
+  std::vector<u64> indices;
+  /// Injections not covered by any journal (nonzero only with allow_partial).
+  u64 missing = 0;
   std::array<u64, kOutcomeCount> outcome_counts{};
 
   [[nodiscard]] u64 count(Outcome outcome) const {
@@ -121,9 +127,29 @@ struct MergedCampaign {
   }
 };
 
-/// Merges shard journals into one campaign. Fails if the journals disagree
-/// on the campaign identity, overlap, or leave indices uncovered.
-Result<MergedCampaign> merge_journals(const std::vector<std::string>& paths);
+struct MergeOptions {
+  /// Accept an incomplete shard set: missing shards / unfinished slices are
+  /// tolerated and the merge returns only the covered records (statistics
+  /// over a partial campaign are biased toward fast injections — this is an
+  /// escape hatch, not a default).
+  bool allow_partial = false;
+};
+
+/// Merges shard journals into one campaign. A malformed shard *set* —
+/// duplicate shard indices, disagreeing shard counts, missing shards, or
+/// uncovered indices — is kFailedPrecondition with the offending shards
+/// named (relaxed by MergeOptions::allow_partial); identity mismatches are
+/// kFailedPrecondition; corrupt record indices are kInternal.
+Result<MergedCampaign> merge_journals(const std::vector<std::string>& paths,
+                                      const MergeOptions& options = {});
+
+/// Writes `merged` back out as a journal file (temp file + rename, so a
+/// crash never leaves a torn merged journal). A complete merge of shard
+/// journals is byte-identical to the journal an uninterrupted unsharded
+/// single-threaded run would have written — the bit-identity contract the
+/// supervisor's auto-merge is verified against.
+Status write_merged_journal(const std::string& path,
+                            const MergedCampaign& merged);
 
 /// Serialization of one golden run, used by the on-disk golden cache. `key`
 /// is the full cache key; it is stored verbatim so a filename-hash collision

@@ -1,0 +1,60 @@
+// Crash-safe shard leases with TTL.
+//
+// A lease is a single-line JSONL file next to a shard journal claiming
+// "owner O is working this shard until expires_ms". Writes go through a
+// temp file + rename, so a reader never sees a torn lease. The protocol:
+//
+//   * acquire: take the lease if it is absent, expired, or already ours
+//     (by owner id); a live lease held by someone else is refused.
+//   * refresh: the holder re-acquires periodically (well inside the TTL).
+//   * release: the holder deletes the file when its shard is done/failed.
+//
+// A supervisor that dies without releasing leaves lease files behind —
+// that is the point: once their TTLs lapse, a restarted supervisor (or a
+// second one pointed at the same campaign dir) takes the stalled shards
+// over and resumes them from their journals. Expiry uses wall-clock
+// unix_now_ms(), the only cross-process clock two supervisors share; the
+// TTL should therefore be generous (seconds, not milliseconds) relative
+// to plausible clock skew.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace gfi::fi {
+
+struct Lease {
+  std::string owner;   ///< supervisor identity (host:pid:nonce)
+  u64 pid = 0;         ///< holder's pid (diagnostics only)
+  u32 shard = 0;       ///< shard index this lease covers
+  u64 expires_ms = 0;  ///< unix ms after which the lease is dead
+};
+
+/// Wall-clock unix time in milliseconds (the lease expiry clock).
+u64 unix_now_ms();
+
+/// The lease path for a shard journal: `<journal>.lease`.
+std::string lease_path_for_journal(const std::string& journal_path);
+
+/// Serialization (single line, no trailing newline).
+std::string lease_line(const Lease& lease);
+Result<Lease> parse_lease(const std::string& line);
+
+/// Reads a lease file. kNotFound when absent; corrupt/torn files are
+/// kInternal (treat as held — safer to wait out a TTL than to double-run).
+Result<Lease> read_lease(const std::string& path);
+
+/// Takes the lease if it is absent, expired at `now_ms`, or already held
+/// by `lease.owner`; refuses (kFailedPrecondition, message names the live
+/// holder) otherwise. Also the refresh operation: the holder re-acquires
+/// with a new expires_ms. Atomic via temp + rename.
+Status acquire_lease(const std::string& path, const Lease& lease, u64 now_ms);
+
+/// Deletes the lease file if held by `owner` (missing file is OK; a live
+/// foreign lease is kFailedPrecondition).
+Status release_lease(const std::string& path, const std::string& owner);
+
+}  // namespace gfi::fi

@@ -3,11 +3,13 @@
 #include <cerrno>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <optional>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/jsonl.h"
 
 namespace gfi::obs {
@@ -100,6 +102,19 @@ std::string status_path_for_journal(const std::string& journal_path) {
   return journal_path + ".status.jsonl";
 }
 
+Result<u64> sidecar_age_ms(const std::string& path) {
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) {
+    return Status::not_found("cannot stat sidecar " + path + ": " +
+                             ec.message());
+  }
+  const auto age = std::filesystem::file_time_type::clock::now() - mtime;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(age);
+  // A clock step can make mtime appear to be in the future; clamp to fresh.
+  return ms.count() < 0 ? 0 : static_cast<u64>(ms.count());
+}
+
 HeartbeatWriter::HeartbeatWriter(std::FILE* file, HeartbeatState state,
                                  u64 interval_ms)
     : file_(file),
@@ -176,7 +191,13 @@ void HeartbeatWriter::write_line_locked(bool done_event) {
                      : std::numeric_limits<f64>::quiet_NaN();
   state_.finished = done_event;
   const std::string line = heartbeat_line(state_) + "\n";
-  if (std::fwrite(line.data(), 1, line.size(), file_) == line.size()) {
+  // Write failures (real or injected) are swallowed: heartbeats are
+  // disposable telemetry and must never abort a campaign. The sidecar
+  // simply goes stale, which is precisely the supervisor's stall signal.
+  const bool drop = fp::enabled() &&
+                    fp::hit("heartbeat.write").action == fp::Action::kErr;
+  if (!drop &&
+      std::fwrite(line.data(), 1, line.size(), file_) == line.size()) {
     std::fflush(file_);
   }
   last_beat_ = now;

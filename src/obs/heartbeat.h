@@ -63,6 +63,12 @@ Result<HeartbeatState> load_status_file(const std::string& path);
 /// The sidecar path for a journal: `<journal>.status.jsonl`.
 std::string status_path_for_journal(const std::string& journal_path);
 
+/// Milliseconds since the sidecar file was last written — the supervisor's
+/// stall signal: a live shard beats at least every heartbeat interval, so a
+/// sidecar far older than that means the worker is hung (or its IO is).
+/// kNotFound when the sidecar does not exist yet.
+Result<u64> sidecar_age_ms(const std::string& path);
+
 /// Thread-safe heartbeat emitter. record() is called once per completed
 /// injection; a line is written when `interval_ms` has elapsed since the
 /// last one (0 = every record, used by tests), and finish()/the destructor

@@ -63,6 +63,44 @@ TEST(Campaign, ModeGroupMismatchRejected) {
   EXPECT_FALSE(Campaign::run(config).is_ok());
 }
 
+TEST(Campaign, QuarantinedIndicesAreSkippedWithoutDisturbingTheRest) {
+  auto config = base_config("vecadd");
+  auto baseline = Campaign::run(config);
+  ASSERT_TRUE(baseline.is_ok()) << baseline.status().to_string();
+
+  config.quarantine = {3, 17};
+  auto result = Campaign::run(config);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  ASSERT_EQ(result.value().records.size(), baseline.value().records.size());
+  EXPECT_EQ(result.value().count(Outcome::kQuarantined), 2u);
+
+  for (std::size_t i = 0; i < result.value().records.size(); ++i) {
+    const auto& record = result.value().records[i];
+    const auto& reference = baseline.value().records[i];
+    // The site is sampled either way — quarantine must not shift the RNG
+    // stream of any other injection (that is what keeps a quarantined
+    // campaign bit-identical to the reference outside the skipped indices).
+    EXPECT_EQ(record.site.bit_sel, reference.site.bit_sel) << i;
+    EXPECT_EQ(record.site.target_occurrence, reference.site.target_occurrence)
+        << i;
+    if (i == 3 || i == 17) {
+      EXPECT_EQ(record.outcome, Outcome::kQuarantined) << i;
+      EXPECT_EQ(record.pre_recovery, Outcome::kQuarantined) << i;
+      EXPECT_EQ(record.attempts, 0u) << i;  // never launched
+      EXPECT_EQ(record.dyn_instrs, 0u) << i;
+    } else {
+      EXPECT_EQ(record.outcome, reference.outcome) << i;
+      EXPECT_EQ(record.error_magnitude, reference.error_magnitude) << i;
+      EXPECT_EQ(record.dyn_instrs, reference.dyn_instrs) << i;
+    }
+  }
+
+  // Quarantine is config, not identity: the flag is not in the journal
+  // header, so is_quarantined is the only behavioural switch.
+  EXPECT_TRUE(config.is_quarantined(3));
+  EXPECT_FALSE(config.is_quarantined(4));
+}
+
 TEST(Campaign, OutcomeCountsSumToInjections) {
   auto result = Campaign::run(base_config("vecadd"));
   ASSERT_TRUE(result.is_ok()) << result.status().to_string();

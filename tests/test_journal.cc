@@ -290,16 +290,120 @@ TEST(Journal, MergeRejectsIncompleteOrOverlappingShards) {
   config.journal_path = (dir / "shard0.jsonl").string();
   ASSERT_TRUE(Campaign::run(config).is_ok());
 
-  // Missing shard 1.
+  // Missing shard 1: refused, and the error names the missing shard and the
+  // escape hatch.
   auto incomplete = fi::merge_journals({*config.journal_path});
   ASSERT_FALSE(incomplete.is_ok());
   EXPECT_EQ(incomplete.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(incomplete.status().message().find("missing shard(s) [1] of 2"),
+            std::string::npos)
+      << incomplete.status().to_string();
+  EXPECT_NE(incomplete.status().message().find("--allow-partial"),
+            std::string::npos);
 
-  // The same shard twice overlaps.
+  // The same shard twice is a duplicate, named with both paths.
   auto overlap =
       fi::merge_journals({*config.journal_path, *config.journal_path});
   ASSERT_FALSE(overlap.is_ok());
-  EXPECT_EQ(overlap.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(overlap.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(overlap.status().message().find("duplicate shard 0/2"),
+            std::string::npos)
+      << overlap.status().to_string();
+}
+
+TEST(Journal, MergeRejectsUnfinishedShardUnlessAllowPartial) {
+  const fs::path dir = scratch_dir("merge_unfinished");
+  auto config = base_config("vecadd");
+  config.shard_count = 2;
+  std::vector<std::string> journals;
+  for (u32 shard = 0; shard < 2; ++shard) {
+    config.shard_index = shard;
+    config.journal_path =
+        (dir / ("shard" + std::to_string(shard) + ".jsonl")).string();
+    journals.push_back(*config.journal_path);
+    ASSERT_TRUE(Campaign::run(config).is_ok());
+  }
+  // Truncate shard 1 to the header plus 10 of its 30 records: an unfinished
+  // (crashed, not-yet-resumed) shard.
+  std::ifstream in(journals[1]);
+  std::string line, kept;
+  for (int i = 0; i < 11 && std::getline(in, line); ++i) kept += line + "\n";
+  in.close();
+  std::ofstream(journals[1], std::ios::trunc) << kept;
+
+  auto strict = fi::merge_journals(journals);
+  ASSERT_FALSE(strict.is_ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(strict.status().message().find("incomplete shard(s)"),
+            std::string::npos)
+      << strict.status().to_string();
+  EXPECT_NE(strict.status().message().find("10 of 30 records"),
+            std::string::npos)
+      << strict.status().to_string();
+
+  fi::MergeOptions allow;
+  allow.allow_partial = true;
+  auto partial = fi::merge_journals(journals, allow);
+  ASSERT_TRUE(partial.is_ok()) << partial.status().to_string();
+  EXPECT_EQ(partial.value().missing, 20u);
+  ASSERT_EQ(partial.value().records.size(), 40u);
+  ASSERT_EQ(partial.value().indices.size(), 40u);
+  // The surviving records keep their global indices, in order: all 30 of
+  // shard 0 (even) plus the first 10 of shard 1 (odd).
+  u64 odd_seen = 0;
+  for (std::size_t k = 1; k < partial.value().indices.size(); ++k) {
+    EXPECT_LT(partial.value().indices[k - 1], partial.value().indices[k]);
+  }
+  for (u64 index : partial.value().indices) {
+    if (index % 2 == 1) ++odd_seen;
+  }
+  EXPECT_EQ(odd_seen, 10u);
+}
+
+TEST(Journal, WriteMergedJournalIsByteIdenticalToUnshardedRun) {
+  const fs::path dir = scratch_dir("merge_bytes");
+  auto config = base_config("vecadd");
+  config.threads = 1;  // index-ordered journal lines
+  config.journal_path = (dir / "reference.jsonl").string();
+  ASSERT_TRUE(Campaign::run(config).is_ok());
+
+  std::vector<std::string> journals;
+  for (u32 shard = 0; shard < 3; ++shard) {
+    auto shard_config = config;
+    shard_config.shard_index = shard;
+    shard_config.shard_count = 3;
+    shard_config.journal_path =
+        (dir / ("shard" + std::to_string(shard) + ".jsonl")).string();
+    journals.push_back(*shard_config.journal_path);
+    ASSERT_TRUE(Campaign::run(shard_config).is_ok());
+  }
+  auto merged = fi::merge_journals(journals);
+  ASSERT_TRUE(merged.is_ok()) << merged.status().to_string();
+  const std::string out = (dir / "merged.jsonl").string();
+  ASSERT_TRUE(fi::write_merged_journal(out, merged.value()).is_ok());
+
+  auto read_all = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  EXPECT_EQ(read_all(out), read_all(*config.journal_path));
+}
+
+TEST(Journal, QuarantinedRecordRoundTrips) {
+  InjectionRecord record;
+  record.outcome = Outcome::kQuarantined;
+  record.pre_recovery = Outcome::kQuarantined;
+  record.attempts = 0;  // never launched
+  record.site.bit_sel = 13;
+  const std::string line = Journal::record_line(133, record);
+  auto parsed = Journal::parse_record(line);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().first, 133u);
+  EXPECT_EQ(parsed.value().second.outcome, Outcome::kQuarantined);
+  EXPECT_EQ(parsed.value().second.pre_recovery, Outcome::kQuarantined);
+  EXPECT_EQ(parsed.value().second.attempts, 0u);
 }
 
 TEST(Journal, ShardValidationRejectsBadIndices) {

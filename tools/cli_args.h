@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 
@@ -42,6 +43,28 @@ inline std::optional<u32> parse_u32(const std::string& text, int base = 10) {
   auto value = parse_u64(text, base);
   if (!value || *value > 0xffffffffULL) return std::nullopt;
   return static_cast<u32>(*value);
+}
+
+/// Parses a comma-separated list of unsigned integers ("3,17,133"). The
+/// empty string is an empty list; any unparsable element fails the whole
+/// list. Used for --quarantine.
+inline std::optional<std::vector<u64>> parse_u64_list(const std::string& text,
+                                                      int base = 10) {
+  std::vector<u64> values;
+  if (text.empty()) return values;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = text.find(',', start);
+    const std::string piece = comma == std::string::npos
+                                  ? text.substr(start)
+                                  : text.substr(start, comma - start);
+    auto value = parse_u64(piece, base);
+    if (!value) return std::nullopt;
+    values.push_back(*value);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
 }
 
 /// A validated "--shard=i/N" value: 0 <= index < count.

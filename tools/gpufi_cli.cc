@@ -8,8 +8,17 @@
 //   gpufi compare <workload> [flags]        A100-vs-H100 campaign + z-tests
 //   gpufi trace <workload> [flags]          trace the first instructions of
 //                                           a golden run + opcode histogram
+//   gpufi run <workload> [flags]            resilient campaign supervisor:
+//                                           forks one shard worker per
+//                                           --shard slice into --dir,
+//                                           survives worker crashes/hangs
+//                                           (lease takeover, backoff retry,
+//                                           poison quarantine), auto-merges
 //   gpufi merge <journal...> [--csv=]       recombine shard journals into
-//                                           the campaign outcome table
+//                                           the campaign outcome table;
+//                                           refuses incomplete/duplicated
+//                                           shard sets (exit 2) unless
+//                                           --allow-partial
 //   gpufi lint [workload] [--json]          static kernel verifier (sa/lint.h)
 //                                           over one or all built-in
 //                                           workloads; exits 1 on any
@@ -43,6 +52,30 @@
 //                            (dynamic warp instrs; default 3x golden + 10000)
 //   --threads=<n>            worker threads for the injection loop
 //                            (0 = hardware concurrency; default 0)
+//   --quarantine=<i,j,...>   global injection indices to journal as
+//                            Quarantined instead of executing (the
+//                            supervisor passes this to relaunched workers)
+//
+// Supervisor flags (run; campaign flags above pass through to workers):
+//   --dir=<path>             campaign directory: shard journals, leases,
+//                            supervisor state, worker logs   (required)
+//   --shards=<n>             number of shard workers          (default 4)
+//   --workers=<n>            max concurrent workers       (default shards)
+//   --lease-ttl-ms=<n>       shard lease TTL              (default 15000)
+//   --stall-timeout-ms=<n>   SIGKILL a worker whose heartbeat sidecar is
+//                            this stale (0 disables; default 30000)
+//   --poll-ms=<n>            supervision loop period        (default 200)
+//   --max-shard-attempts=<n> abandon a shard after n consecutive
+//                            no-progress crashes              (default 6)
+//   --poison-threshold=<n>   quarantine an injection after n consecutive
+//                            crashes pinned on it             (default 3)
+//   --backoff-base-ms=<n>    relaunch backoff base          (default 500)
+//   --backoff-cap-ms=<n>     relaunch backoff cap         (default 10000)
+//   --worker-failpoints=<s>  GFI_FAILPOINTS spec for workers (chaos tests)
+//   --resume                 continue an existing supervisor state file
+//   --out=<path>             (run/merge) write the merged journal (atomic)
+//   --allow-partial          (merge) merge despite missing/incomplete
+//                            shards
 //
 // Recovery flags (campaign/compare):
 //   --recover=retry|abft     trap-and-retry relaunch; `abft` additionally
@@ -68,10 +101,13 @@
 //                            records are credited analytically and outcome
 //                            tables stay bit-identical (default none)
 //   --json                   (lint) machine-readable findings
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -87,6 +123,7 @@
 #include "fi/campaign.h"
 #include "fi/golden_cache.h"
 #include "fi/journal.h"
+#include "fi/supervisor.h"
 #include "obs/registry.h"
 #include "obs/status.h"
 #include "harden/swift.h"
@@ -102,7 +139,7 @@ using namespace gfi;
 
 /// Bumped per stacked PR; `gpufi version` pairs it with the compiled SIMD
 /// backend so bug reports pin down which execution path produced a journal.
-constexpr const char* kVersion = "0.6.0";
+constexpr const char* kVersion = "0.7.0";
 
 struct Options {
   std::string command;
@@ -133,12 +170,28 @@ struct Options {
   u64 heartbeat_ms = 2000;
   bool watch = false;
   u64 interval_s = 2;  ///< --watch poll period
+  std::vector<u64> quarantine;  ///< --quarantine=i,j,... (campaign)
+  bool allow_partial = false;   ///< --allow-partial (merge)
+  std::optional<std::string> out;  ///< --out merged-journal path (run/merge)
+  // `run` supervisor knobs (defaults mirror fi::SupervisorConfig).
+  std::string dir;
+  u32 shards = 4;
+  u32 workers = 0;  ///< 0 = one worker per shard
+  u64 lease_ttl_ms = 15000;
+  u64 stall_timeout_ms = 30000;
+  u64 poll_ms = 200;
+  u32 max_shard_attempts = 6;
+  u32 poison_threshold = 3;
+  u64 backoff_base_ms = 500;
+  u64 backoff_cap_ms = 10000;
+  std::string worker_failpoints;
+  bool resume = false;
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: gpufi "
-               "<list|disasm|golden|campaign|compare|merge|lint|status|"
+               "<list|disasm|golden|campaign|run|compare|merge|lint|status|"
                "version> "
                "[workload|journal|dir...] [--flags]\n(see the header of "
                "tools/gpufi_cli.cc for the flag reference)\n");
@@ -340,6 +393,110 @@ std::optional<Options> parse(int argc, char** argv) {
       options.interval_s = *parsed;
       continue;
     }
+    if (parse_flag(arg, "quarantine", &value)) {
+      auto parsed = cli::parse_u64_list(value);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "bad --quarantine '%s' (want comma-separated indices)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.quarantine = std::move(*parsed);
+      continue;
+    }
+    if (arg == "--allow-partial") {
+      options.allow_partial = true;
+      continue;
+    }
+    if (parse_flag(arg, "out", &value)) {
+      options.out = value;
+      continue;
+    }
+    if (parse_flag(arg, "dir", &value)) {
+      options.dir = value;
+      continue;
+    }
+    if (parse_flag(arg, "shards", &value)) {
+      auto parsed = cli::parse_u32(value);
+      if (!parsed || *parsed == 0) {
+        std::fprintf(stderr, "bad --shards '%s' (want a positive integer)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.shards = *parsed;
+      continue;
+    }
+    if (parse_flag(arg, "workers", &value)) {
+      auto parsed = cli::parse_u32(value);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "bad --workers '%s' (want a non-negative integer, "
+                     "0 = one per shard)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.workers = *parsed;
+      continue;
+    }
+    // The supervisor's millisecond knobs share one strict-u64 shape.
+    const struct {
+      const char* name;
+      u64* slot;
+      bool positive;
+    } u64_knobs[] = {
+        {"lease-ttl-ms", &options.lease_ttl_ms, true},
+        {"stall-timeout-ms", &options.stall_timeout_ms, false},
+        {"poll-ms", &options.poll_ms, true},
+        {"backoff-base-ms", &options.backoff_base_ms, false},
+        {"backoff-cap-ms", &options.backoff_cap_ms, false},
+    };
+    bool matched = false;
+    bool bad = false;
+    for (const auto& knob : u64_knobs) {
+      if (!parse_flag(arg, knob.name, &value)) continue;
+      matched = true;
+      auto parsed = cli::parse_u64(value);
+      if (!parsed || (knob.positive && *parsed == 0)) {
+        std::fprintf(stderr, "bad --%s '%s' (want a%s integer)\n", knob.name,
+                     value.c_str(),
+                     knob.positive ? " positive" : " non-negative");
+        bad = true;
+        break;
+      }
+      *knob.slot = *parsed;
+      break;
+    }
+    if (bad) return std::nullopt;
+    if (matched) continue;
+    const struct {
+      const char* name;
+      u32* slot;
+    } u32_knobs[] = {
+        {"max-shard-attempts", &options.max_shard_attempts},
+        {"poison-threshold", &options.poison_threshold},
+    };
+    for (const auto& knob : u32_knobs) {
+      if (!parse_flag(arg, knob.name, &value)) continue;
+      matched = true;
+      auto parsed = cli::parse_u32(value);
+      if (!parsed || *parsed == 0) {
+        std::fprintf(stderr, "bad --%s '%s' (want a positive integer)\n",
+                     knob.name, value.c_str());
+        bad = true;
+        break;
+      }
+      *knob.slot = *parsed;
+      break;
+    }
+    if (bad) return std::nullopt;
+    if (matched) continue;
+    if (parse_flag(arg, "worker-failpoints", &options.worker_failpoints)) {
+      continue;
+    }
+    if (arg == "--resume") {
+      options.resume = true;
+      continue;
+    }
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
     return std::nullopt;
   }
@@ -426,6 +583,7 @@ std::optional<fi::CampaignConfig> campaign_config(const Options& options) {
   config.threads = options.threads;
   config.heartbeat_interval_ms = options.heartbeat_ms;
   config.prune_dead_sites = options.prune == "dead";
+  config.quarantine = options.quarantine;
   if (options.golden_cache) {
     fi::GoldenCache::instance().set_directory(*options.golden_cache);
   }
@@ -532,13 +690,30 @@ int cmd_campaign(const Options& options) {
     (void)analysis::write_records_csv(result.value(), *options.records);
   }
   if (options.metrics_out) {
-    std::ofstream out(*options.metrics_out, std::ios::binary);
-    if (!out) {
-      std::fprintf(stderr, "cannot write metrics snapshot to %s\n",
-                   options.metrics_out->c_str());
+    // Temp file + rename: a crash mid-write must never leave a torn JSON
+    // snapshot for downstream tooling to choke on.
+    const std::string tmp =
+        *options.metrics_out + ".tmp-" + std::to_string(::getpid());
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (out) out << metrics.snapshot().to_json();
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "cannot write metrics snapshot to %s\n",
+                     options.metrics_out->c_str());
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
+        return 1;
+      }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, *options.metrics_out, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot write metrics snapshot to %s: %s\n",
+                   options.metrics_out->c_str(), ec.message().c_str());
+      std::filesystem::remove(tmp, ec);
       return 1;
     }
-    out << metrics.snapshot().to_json();
     std::printf("metrics snapshot written to %s\n",
                 options.metrics_out->c_str());
   }
@@ -615,29 +790,25 @@ int cmd_compare(Options options) {
   return 0;
 }
 
-int cmd_merge(const Options& options) {
-  // The first journal path lands in the workload slot of the parser.
-  std::vector<std::string> paths;
-  if (!options.workload.empty()) paths.push_back(options.workload);
-  paths.insert(paths.end(), options.positionals.begin(),
-               options.positionals.end());
-  if (paths.empty()) return usage();
-  auto merged = fi::merge_journals(paths);
-  if (!merged.is_ok()) {
-    std::fprintf(stderr, "%s\n", merged.status().to_string().c_str());
-    return 1;
+/// Prints the standard campaign outcome table for a merged journal and
+/// handles --csv/--records/--out. Shared by `merge` and `run`.
+int report_merged(const fi::MergedCampaign& merged, const Options& options) {
+  if (merged.missing > 0) {
+    std::printf("partial merge: %llu of %llu injections missing\n",
+                static_cast<unsigned long long>(merged.missing),
+                static_cast<unsigned long long>(merged.header.num_injections));
   }
   // Shell result so the standard reporting helpers apply; the merged table
   // is bit-identical to the one an unsharded campaign would print.
   fi::CampaignResult result;
-  result.config.workload = merged.value().header.workload;
-  result.records = std::move(merged.value().records);
-  result.outcome_counts = merged.value().outcome_counts;
-  Table table("Campaign: " + merged.value().header.workload + " on " +
-              merged.value().header.arch + ", " + merged.value().header.mode +
-              "/" + merged.value().header.flip);
+  result.config.workload = merged.header.workload;
+  result.records = merged.records;
+  result.outcome_counts = merged.outcome_counts;
+  Table table("Campaign: " + merged.header.workload + " on " +
+              merged.header.arch + ", " + merged.header.mode + "/" +
+              merged.header.flip);
   table.set_header(analysis::outcome_header());
-  table.add_row(analysis::outcome_row(merged.value().header.workload, result));
+  table.add_row(analysis::outcome_row(merged.header.workload, result));
   table.print();
   std::printf("uncorrected failure rate (SDC+DUE+Hang): %s\n",
               Table::pct(analysis::uncorrected_failure_rate(result)).c_str());
@@ -645,7 +816,141 @@ int cmd_merge(const Options& options) {
   if (options.records) {
     (void)analysis::write_records_csv(result, *options.records);
   }
+  if (options.out) {
+    if (Status written = fi::write_merged_journal(*options.out, merged);
+        !written.is_ok()) {
+      std::fprintf(stderr, "%s\n", written.to_string().c_str());
+      return 1;
+    }
+    std::printf("merged journal written to %s\n", options.out->c_str());
+  }
   return 0;
+}
+
+int cmd_merge(const Options& options) {
+  // The first journal path lands in the workload slot of the parser.
+  std::vector<std::string> paths;
+  if (!options.workload.empty()) paths.push_back(options.workload);
+  paths.insert(paths.end(), options.positionals.begin(),
+               options.positionals.end());
+  if (paths.empty()) return usage();
+  fi::MergeOptions merge_options;
+  merge_options.allow_partial = options.allow_partial;
+  auto merged = fi::merge_journals(paths, merge_options);
+  if (!merged.is_ok()) {
+    std::fprintf(stderr, "%s\n", merged.status().to_string().c_str());
+    // Incomplete/duplicated shard sets are a distinct, scriptable failure:
+    // exit 2 so campaign drivers can tell "re-run some shards" apart from
+    // "these journals are corrupt" (exit 1).
+    return merged.status().code() == StatusCode::kFailedPrecondition ? 2 : 1;
+  }
+  return report_merged(merged.value(), options);
+}
+
+/// Resolves the running gpufi binary for `run` worker re-exec. /proc is
+/// Linux-specific; argv[0] is the portable fallback.
+std::string self_exe(const char* argv0) {
+  char buffer[4096];
+  const ssize_t length =
+      ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (length > 0) {
+    buffer[length] = '\0';
+    return std::string(buffer);
+  }
+  return argv0 != nullptr ? std::string(argv0) : std::string("gpufi");
+}
+
+int cmd_run(const Options& options, const char* argv0) {
+  if (options.dir.empty()) {
+    std::fprintf(stderr,
+                 "gpufi run requires --dir=<campaign directory> (shard "
+                 "journals, leases, and supervisor state live there)\n");
+    return 2;
+  }
+  fi::SupervisorConfig config;
+  config.exe = self_exe(argv0);
+  config.workload = options.workload;
+  config.dir = options.dir;
+  config.shards = options.shards;
+  config.max_workers = options.workers;
+  config.num_injections = options.injections;
+  config.seed = options.seed;
+  config.lease_ttl_ms = options.lease_ttl_ms;
+  config.poll_ms = options.poll_ms;
+  config.stall_timeout_ms = options.stall_timeout_ms;
+  config.worker_heartbeat_ms = options.heartbeat_ms;
+  config.max_shard_attempts = options.max_shard_attempts;
+  config.poison_threshold = options.poison_threshold;
+  config.backoff_base_ms = options.backoff_base_ms;
+  config.backoff_cap_ms = options.backoff_cap_ms;
+  config.worker_failpoints = options.worker_failpoints;
+  config.resume = options.resume;
+  // Campaign flags forwarded verbatim to every worker. Defaults are passed
+  // explicitly so the worker command line fully determines the campaign —
+  // a shard journal is replayable from its flags alone.
+  config.worker_flags.push_back("--arch=" + options.arch);
+  config.worker_flags.push_back("--mode=" + options.mode);
+  config.worker_flags.push_back("--flip=" + options.flip);
+  config.worker_flags.push_back("--injections=" +
+                                std::to_string(options.injections));
+  config.worker_flags.push_back("--seed=" + std::to_string(options.seed));
+  config.worker_flags.push_back("--persist=" + options.persist);
+  if (options.group) config.worker_flags.push_back("--group=" + *options.group);
+  if (options.bit) {
+    config.worker_flags.push_back("--bit=" + std::to_string(*options.bit));
+  }
+  if (options.ecc_on) {
+    config.worker_flags.push_back(std::string("--ecc=") +
+                                  (*options.ecc_on ? "on" : "off"));
+  }
+  if (options.recover) {
+    config.worker_flags.push_back("--recover=" + *options.recover);
+  }
+  if (options.max_retries) {
+    config.worker_flags.push_back("--max-retries=" +
+                                  std::to_string(*options.max_retries));
+  }
+  if (options.prune != "none") {
+    config.worker_flags.push_back("--prune=" + options.prune);
+  }
+  if (options.watchdog) {
+    config.worker_flags.push_back("--watchdog=" +
+                                  std::to_string(*options.watchdog));
+  }
+  if (options.golden_cache) {
+    config.worker_flags.push_back("--golden-cache=" + *options.golden_cache);
+  }
+
+  auto ran = fi::Supervisor::run(config);
+  if (!ran.is_ok()) {
+    std::fprintf(stderr, "%s\n", ran.status().to_string().c_str());
+    return 1;
+  }
+  const fi::SupervisorResult& result = ran.value();
+  std::printf(
+      "supervisor: %llu worker launch(es), %llu crash(es), %llu stall "
+      "kill(s), %llu lease takeover(s)\n",
+      static_cast<unsigned long long>(result.worker_launches),
+      static_cast<unsigned long long>(result.crashes),
+      static_cast<unsigned long long>(result.stall_kills),
+      static_cast<unsigned long long>(result.takeovers));
+  if (!result.quarantined.empty()) {
+    std::string list;
+    for (u64 index : result.quarantined) {
+      if (!list.empty()) list += ",";
+      list += std::to_string(index);
+    }
+    std::printf("quarantined injection(s): %s\n", list.c_str());
+  }
+  if (result.shards_failed > 0) {
+    std::fprintf(stderr,
+                 "%u shard(s) abandoned after repeated no-progress crashes; "
+                 "see %s and the shard-*.log files\n",
+                 result.shards_failed,
+                 fi::Supervisor::state_path(options.dir).c_str());
+    return 1;
+  }
+  return report_merged(result.merged, options);
 }
 
 int cmd_lint(const Options& options) {
@@ -734,6 +1039,7 @@ int main(int argc, char** argv) {
   if (options->command == "disasm") return cmd_disasm(*options);
   if (options->command == "golden") return cmd_golden(*options);
   if (options->command == "campaign") return cmd_campaign(*options);
+  if (options->command == "run") return cmd_run(*options, argv[0]);
   if (options->command == "compare") return cmd_compare(*options);
   if (options->command == "trace") return cmd_trace(*options);
   return usage();
