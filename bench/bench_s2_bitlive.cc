@@ -1,0 +1,150 @@
+// R-S2 (static analysis, bit level): per-bit-position static masked lower
+// bound vs the measured masked rate of fixed-bit campaigns, and the extra
+// injections dead-*bit* pruning credits over dead-*site* pruning (R-S1).
+//
+// Part A: for each arch x workload x bit position we compute the static
+// bound (fraction of eligible sites where a flip of footprint bit b is
+// provably Masked, sa/bitlive.h) and run the same seeded IOV campaign with
+// --bit=b; soundness requires bound <= measured masked rate on every row.
+//
+// Part B: the same seeded campaign run three ways — unpruned, --prune=dead,
+// --prune=dead-bits — must produce identical outcome tables, with
+// dead-bits crediting strictly more injections than dead over the SWIFT
+// suite (partially-dead detector values are exactly what bit-liveness
+// refines below whole registers).
+#include "bench_util.h"
+
+#include "analysis/static_bound.h"
+#include "harden/swift.h"
+#include "sa/ace.h"
+
+int main() {
+  using namespace gfi;
+  harden::register_hardened_workloads();
+  benchx::banner("R-S2",
+                 "Bit-liveness: per-bit static bounds and dead-bit pruning");
+
+  // Workloads with a meaningful partial-dead population (narrow loads,
+  // shift-scaled addresses, SWIFT detector chains) plus their context.
+  const std::vector<std::string> bit_suite = {
+      "histogram", "histogram_swift", "bitonic_sort_swift", "mc_pi_swift"};
+  const u32 bit_positions[] = {0, 6, 15, 31};
+  const std::pair<const char*, sim::MachineConfig> archs[] = {
+      {"a100", arch::a100()}, {"h100", arch::h100()}};
+
+  bool bound_violation = false;
+  Table bit_table(
+      "IOV fixed-bit sweeps: static per-bit bound vs measured masked rate");
+  bit_table.set_header({"arch", "workload", "bit", "eligible", "partial",
+                        "static_bit_lb", "dyn_masked"});
+  for (const auto& [arch_name, machine] : archs) {
+    for (const std::string& workload : bit_suite) {
+      auto base = benchx::base_config(workload, machine);
+      auto map = fi::Campaign::build_prune_map(base);
+      if (!map.is_ok()) {
+        std::fprintf(stderr, "%s/%s: prune map failed: %s\n", arch_name,
+                     workload.c_str(), map.status().to_string().c_str());
+        return 1;
+      }
+      const auto bound = analysis::static_masked_bound(
+          map.value(), base.model.mode, base.group);
+      for (u32 bit : bit_positions) {
+        const f64 static_lb = analysis::static_bit_masked_bound(
+            map.value(), base.model.mode, base.group, bit);
+        auto config = base;
+        config.fixed_bit = bit;
+        auto result = benchx::must_run(config);
+        const f64 dyn_masked = result.rate(fi::Outcome::kMasked) +
+                               result.rate(fi::Outcome::kMaskedTolerated);
+        if (static_lb > dyn_masked + 1e-12) {
+          std::fprintf(
+              stderr,
+              "BOUND VIOLATION: %s/%s bit %u static %.4f > dynamic %.4f\n",
+              arch_name, workload.c_str(), bit, static_lb, dyn_masked);
+          bound_violation = true;
+        }
+        bit_table.add_row({arch_name, workload, std::to_string(bit),
+                           std::to_string(bound.eligible),
+                           std::to_string(bound.partial),
+                           Table::pct(static_lb), Table::pct(dyn_masked)});
+      }
+    }
+  }
+  benchx::emit(bit_table, "r_s2_bitlive");
+
+  // Part B: dead-bit pruning must stay bit-identical to the unpruned
+  // campaign while crediting strictly more than dead-site pruning across
+  // the SWIFT suite.
+  const std::vector<std::string> swift_suite = {
+      "bitonic_sort_swift", "histogram_swift", "scan_swift",
+      "reduce_u32_swift"};
+  bool mismatch = false;
+  u64 total_injections = 0;
+  u64 total_dead = 0;
+  u64 total_bits = 0;
+  Table prune_table(
+      "SWIFT suite: injections credited by --prune=dead vs --prune=dead-bits");
+  prune_table.set_header({"arch", "workload", "injections", "pruned_dead",
+                          "pruned_dead_bits", "extra"});
+  for (const auto& [arch_name, machine] : archs) {
+    for (const std::string& workload : swift_suite) {
+      auto base = benchx::base_config(workload, machine);
+      auto unpruned = benchx::must_run(base);
+
+      auto dead_config = base;
+      dead_config.prune_dead_sites = true;
+      auto dead = benchx::must_run(dead_config);
+
+      auto bits_config = base;
+      bits_config.prune_dead_sites = true;
+      bits_config.prune_dead_bits = true;
+      auto bits = benchx::must_run(bits_config);
+
+      if (dead.outcome_counts != unpruned.outcome_counts ||
+          bits.outcome_counts != unpruned.outcome_counts) {
+        std::fprintf(stderr,
+                     "SOUNDNESS VIOLATION: %s/%s pruned and unpruned outcome "
+                     "tables differ\n",
+                     arch_name, workload.c_str());
+        mismatch = true;
+      }
+      if (bits.pruned < dead.pruned) {
+        std::fprintf(stderr,
+                     "PRUNE REGRESSION: %s/%s dead-bits credited %llu < dead "
+                     "%llu\n",
+                     arch_name, workload.c_str(),
+                     static_cast<unsigned long long>(bits.pruned),
+                     static_cast<unsigned long long>(dead.pruned));
+        mismatch = true;
+      }
+      total_injections += base.num_injections;
+      total_dead += dead.pruned;
+      total_bits += bits.pruned;
+      prune_table.add_row(
+          {arch_name, workload, std::to_string(base.num_injections),
+           std::to_string(dead.pruned), std::to_string(bits.pruned),
+           std::to_string(bits.pruned - dead.pruned)});
+    }
+  }
+  benchx::emit(prune_table, "r_s2_bitlive_prune");
+  std::printf(
+      "Aggregate SWIFT prune rate: dead %.2f%%, dead-bits %.2f%% "
+      "(%llu extra credited injections)\n",
+      100.0 * static_cast<f64>(total_dead) /
+          static_cast<f64>(total_injections),
+      100.0 * static_cast<f64>(total_bits) /
+          static_cast<f64>(total_injections),
+      static_cast<unsigned long long>(total_bits - total_dead));
+  std::printf(
+      "Expected shape: static_bit_lb <= dyn_masked on every Part A row, and\n"
+      "dead-bits > dead in aggregate — the bit analysis can only refine the\n"
+      "register-level result, never contradict it.\n");
+  if (total_bits <= total_dead) {
+    std::fprintf(stderr,
+                 "IMPROVEMENT VIOLATION: dead-bits pruning credited no more "
+                 "than dead-site pruning over the SWIFT suite\n");
+    return 1;
+  }
+  if (mismatch || bound_violation) return 1;
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "analysis/static_bound.h"
 
+#include <sstream>
+
 namespace gfi::analysis {
 
 StaticBound static_masked_bound(const sa::PruneMap& map,
@@ -16,10 +18,98 @@ StaticBound static_masked_bound(const sa::PruneMap& map,
         ++bound.inert;
       } else if (entry.cls == sa::SiteClass::kDead) {
         ++bound.dead;
+      } else if (entry.cls == sa::SiteClass::kPartialDead) {
+        ++bound.partial;
+        const u32 total_bits = map.analysis.strike_span(entry.pc) * 32u;
+        if (total_bits > 0) {
+          bound.partial_dead_weight +=
+              static_cast<f64>(map.analysis.num_dead_bits(entry.pc)) /
+              static_cast<f64>(total_bits);
+        }
       }
     }
   }
   return bound;
+}
+
+f64 static_bit_masked_bound(const sa::PruneMap& map, fi::InjectionMode mode,
+                            std::optional<sim::InstrGroup> group, u32 bit) {
+  u64 eligible = 0;
+  u64 masked = 0;
+  for (int g = 0; g < sim::kInstrGroupCount; ++g) {
+    const auto instr_group = static_cast<sim::InstrGroup>(g);
+    if (!fi::mode_targets_group(mode, instr_group)) continue;
+    if (group && *group != instr_group) continue;
+    eligible += map.occurrences[g];
+    for (const sa::PruneEntry& entry : map.entries[g]) {
+      // Inert sites are NotActivated, not Masked: they do not count
+      // toward the masked bound.
+      if (entry.exec_mask == 0 || entry.cls == sa::SiteClass::kNoop) continue;
+      if (entry.cls == sa::SiteClass::kDead) {
+        ++masked;  // any flipped bit is dead, whatever the position
+      } else if (entry.cls == sa::SiteClass::kPartialDead) {
+        const u32 total_bits = map.analysis.strike_span(entry.pc) * 32u;
+        if (total_bits > 0 &&
+            map.analysis.strike_bit_dead(entry.pc, bit % total_bits)) {
+          ++masked;
+        }
+      }
+    }
+  }
+  return eligible == 0
+             ? 0.0
+             : static_cast<f64>(masked) / static_cast<f64>(eligible);
+}
+
+AvfReport avf_report(const sa::PruneMap& map, fi::InjectionMode mode) {
+  AvfReport report;
+  for (int g = 0; g < sim::kInstrGroupCount; ++g) {
+    const auto group = static_cast<sim::InstrGroup>(g);
+    if (!fi::mode_targets_group(mode, group)) continue;
+    if (map.occurrences[g] == 0) continue;
+    AvfReport::GroupRow row;
+    row.group = group;
+    row.bound = static_masked_bound(map, mode, group);
+    report.groups.push_back(row);
+  }
+  report.total = static_masked_bound(map, mode, std::nullopt);
+  for (u32 bit = 0; bit < 32; ++bit) {
+    report.bit_bounds[bit] =
+        static_bit_masked_bound(map, mode, std::nullopt, bit);
+  }
+  return report;
+}
+
+std::string to_json(const AvfReport& report, const std::string& workload,
+                    const std::string& arch) {
+  std::ostringstream out;
+  out << "{\"workload\": \"" << workload << "\", \"arch\": \"" << arch
+      << "\", \"groups\": [";
+  for (std::size_t i = 0; i < report.groups.size(); ++i) {
+    const AvfReport::GroupRow& row = report.groups[i];
+    if (i > 0) out << ", ";
+    out << "{\"group\": \"" << sim::group_name(row.group)
+        << "\", \"eligible\": " << row.bound.eligible
+        << ", \"dead\": " << row.bound.dead
+        << ", \"partial\": " << row.bound.partial
+        << ", \"inert\": " << row.bound.inert
+        << ", \"masked_lb\": " << row.bound.masked_lower_bound()
+        << ", \"bit_masked_lb\": " << row.bound.bit_masked_lower_bound()
+        << "}";
+  }
+  out << "], \"total\": {\"eligible\": " << report.total.eligible
+      << ", \"dead\": " << report.total.dead
+      << ", \"partial\": " << report.total.partial
+      << ", \"inert\": " << report.total.inert
+      << ", \"masked_lb\": " << report.total.masked_lower_bound()
+      << ", \"bit_masked_lb\": " << report.total.bit_masked_lower_bound()
+      << "}, \"bit_bounds\": [";
+  for (u32 bit = 0; bit < 32; ++bit) {
+    if (bit > 0) out << ", ";
+    out << report.bit_bounds[bit];
+  }
+  out << "]}";
+  return out.str();
 }
 
 }  // namespace gfi::analysis

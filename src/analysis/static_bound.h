@@ -1,13 +1,22 @@
-// Experiment R-S1 arithmetic: static masked-fraction lower bound vs the
-// dynamically measured masked rate, from a workload's PruneMap.
+// Experiment R-S1/R-S2 arithmetic: static masked-fraction lower bounds vs
+// the dynamically measured masked rate, from a workload's PruneMap.
 //
 // A uniformly sampled IOV/PRED site lands on a statically-dead destination
 // with probability dead/eligible; every such injection is Masked (the strike
 // footprint is never read), so
 //     static_masked_bound  <=  E[dynamic masked rate].
-// Inert sites (predicated-off or nothing to corrupt) classify NotActivated,
-// not Masked, and are reported separately.
+// Bit-liveness extends the argument below whole registers: a single-bit
+// flip at a partially-dead site is Masked whenever the sampled bit is
+// statically dead, which tightens the random-bit expectation to
+//     (dead + sum over partial sites of dead_bits/total_bits) / eligible
+// and gives a per-bit-position bound for fixed-bit sweeps. Inert sites
+// (predicated-off or nothing to corrupt) classify NotActivated, not Masked,
+// and are reported separately.
 #pragma once
+
+#include <array>
+#include <string>
+#include <vector>
 
 #include "fi/fault_model.h"
 #include "sa/ace.h"
@@ -22,13 +31,30 @@ struct StaticBound {
   /// Sites the injector cannot activate: predicated off (exec_mask == 0)
   /// or with nothing to corrupt (e.g. RZ-destination atomics).
   u64 inert = 0;
+  /// Sites with a partially-dead strike footprint (some bits provably
+  /// dead): a uniformly sampled single-bit flip there is Masked with
+  /// probability dead_bits/total_bits.
+  u64 partial = 0;
+  /// Sum over partial sites of dead_bits/total_bits: the expected number
+  /// of partial-site injections a random single-bit flip masks.
+  f64 partial_dead_weight = 0.0;
 
-  /// Lower bound on the expected masked rate from dead sites alone.
+  /// Lower bound on the expected masked rate from fully-dead sites alone
+  /// (the R-S1 register-level bound; flip-model independent).
   [[nodiscard]] f64 masked_lower_bound() const {
     return eligible == 0 ? 0.0
                          : static_cast<f64>(dead) / static_cast<f64>(eligible);
   }
-  /// Fraction of sampled injections the campaign can skip simulating.
+  /// Lower bound on the expected masked rate of a *uniform random
+  /// single-bit* flip campaign: dead sites plus the dead-bit fraction of
+  /// partial sites (the R-S2 bit-level bound).
+  [[nodiscard]] f64 bit_masked_lower_bound() const {
+    return eligible == 0 ? 0.0
+                         : (static_cast<f64>(dead) + partial_dead_weight) /
+                               static_cast<f64>(eligible);
+  }
+  /// Fraction of sampled injections the campaign can skip simulating
+  /// without bit-level crediting (dead-site pruning only).
   [[nodiscard]] f64 prunable_fraction() const {
     return eligible == 0
                ? 0.0
@@ -41,5 +67,36 @@ struct StaticBound {
 StaticBound static_masked_bound(const sa::PruneMap& map,
                                 fi::InjectionMode mode,
                                 std::optional<sim::InstrGroup> group);
+
+/// Per-bit-position static masked lower bound for fixed-bit sweeps: the
+/// fraction of eligible sites where a `fixed_bit = b` single-bit flip is
+/// provably Masked. The injector reduces the bit selector modulo the
+/// footprint width, so for b < 32 the strike always lands on bit b of the
+/// footprint's first register.
+[[nodiscard]] f64 static_bit_masked_bound(const sa::PruneMap& map,
+                                          fi::InjectionMode mode,
+                                          std::optional<sim::InstrGroup> group,
+                                          u32 bit);
+
+/// Static AVF report (`gpufi avf`): per-group and per-bit-position masked
+/// lower bounds for one (workload, arch) PruneMap under IOV single-bit
+/// injection.
+struct AvfReport {
+  struct GroupRow {
+    sim::InstrGroup group = sim::InstrGroup::kInt;
+    StaticBound bound;
+  };
+  std::vector<GroupRow> groups;          ///< groups with eligible sites
+  StaticBound total;                     ///< all eligible groups combined
+  std::array<f64, 32> bit_bounds{};      ///< per-bit-position masked LB
+};
+
+[[nodiscard]] AvfReport avf_report(const sa::PruneMap& map,
+                                   fi::InjectionMode mode);
+
+/// JSON serialisation for `gpufi avf --json`.
+[[nodiscard]] std::string to_json(const AvfReport& report,
+                                  const std::string& workload,
+                                  const std::string& arch);
 
 }  // namespace gfi::analysis

@@ -208,13 +208,47 @@ Result<Campaign::Golden> Campaign::golden_run(const CampaignConfig& config) {
 
 namespace {
 
+/// True when the analytic fast path may credit `entry` for this sampled
+/// injection. Fully-dead, no-op, and predicated-off sites always qualify;
+/// a kPartialDead site qualifies only under prune_dead_bits, and only when
+/// every bit the sampled single/double flip would strike is statically dead
+/// (mirroring injector.cc strike_iov's bit arithmetic exactly).
+bool credit_allowed(const CampaignConfig& config, const sa::PruneMap& map,
+                    const sa::PruneEntry& entry, const FaultSite& site) {
+  if (entry.exec_mask == 0 || entry.cls != sa::SiteClass::kPartialDead) {
+    return true;
+  }
+  if (!config.prune_dead_bits || config.model.mode != InjectionMode::kIov) {
+    return false;
+  }
+  const sa::StaticSiteAnalysis& analysis = map.analysis;
+  const u32 bits = analysis.strike_span(entry.pc) * 32u;
+  if (bits == 0) return false;
+  switch (config.model.flip) {
+    case BitFlipModel::kSingle:
+      return analysis.strike_bit_dead(entry.pc, site.bit_sel % bits);
+    case BitFlipModel::kDouble: {
+      const u32 b1 = site.bit_sel % bits;
+      u32 b2 = site.bit_sel2 % bits;
+      if (b2 == b1) b2 = (b2 + 1) % bits;
+      return analysis.strike_bit_dead(entry.pc, b1) &&
+             analysis.strike_bit_dead(entry.pc, b2);
+    }
+    case BitFlipModel::kRandomValue:
+    case BitFlipModel::kZeroValue:
+      return false;  // whole-footprint corruption touches the live bits
+  }
+  return false;
+}
+
 /// Fills `record` for a prunable site without simulating, reproducing field
 /// by field what the launch would have recorded:
 ///  - exec_mask == 0: the injector never activates (predicated-off site).
 ///  - kNoop: the strike hits nothing corruptible (e.g. RZ-dst atomic);
 ///    activated stays false.
-///  - kDead: the strike lands but its whole footprint is dead, so the run
-///    completes with fault-free output and the golden check verdict.
+///  - kDead (or kPartialDead with every struck bit dead): the strike lands
+///    but nothing it flips is ever read, so the run completes with
+///    fault-free output and the golden check verdict.
 void credit_pruned(const sa::PruneMap& map, const sa::PruneEntry& entry,
                    u64 golden_dyn_instrs, InjectionRecord& record) {
   record.effect.struck_dyn_index = entry.dyn_index;
@@ -271,12 +305,14 @@ Result<InjectionRecord> Campaign::run_single(const CampaignConfig& config,
 
   // Analytic fast path: nothing after sample_site consumes the RNG for
   // IOV/PRED, so skipping the simulation cannot perturb any other record.
+  // Partial-dead entries fall through to the full simulation unless the
+  // sampled bits are all provably dead (credit_allowed).
   if (prune_map && site.value().group &&
       (config.model.mode == InjectionMode::kIov ||
        config.model.mode == InjectionMode::kPred)) {
     const sa::PruneEntry* entry = prune_map->find(
         *site.value().group, site.value().target_occurrence);
-    if (entry) {
+    if (entry && credit_allowed(config, *prune_map, *entry, site.value())) {
       InjectionRecord record;
       record.site = site.value();
       credit_pruned(*prune_map, *entry, golden_dyn_instrs, record);
@@ -545,7 +581,7 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
   // prunable (group, occurrence) site; workers then credit those records
   // analytically instead of simulating them.
   std::optional<sa::PruneMap> prune_map;
-  if (config.prune_dead_sites &&
+  if ((config.prune_dead_sites || config.prune_dead_bits) &&
       (config.model.mode == InjectionMode::kIov ||
        config.model.mode == InjectionMode::kPred)) {
     auto map = build_prune_map(config);

@@ -134,6 +134,11 @@ struct CampaignConfig {
   /// bit-identical to an unpruned campaign on the same seeds while the
   /// pruned launches cost nothing. Ignored for other modes.
   bool prune_dead_sites = false;
+  /// Superset of prune_dead_sites (implies it): additionally credit
+  /// single/double-bit flips whose sampled bits all land on statically dead
+  /// bits of a partially-dead footprint (sa/bitlive.h). Same bit-identity
+  /// guarantee; other flip models at partial sites are still simulated.
+  bool prune_dead_bits = false;
 };
 
 struct InjectionRecord {

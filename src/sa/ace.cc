@@ -1,6 +1,9 @@
 #include "sa/ace.h"
 
 #include <algorithm>
+#include <bit>
+
+#include "sa/bitlive.h"
 
 namespace gfi::sa {
 
@@ -14,10 +17,13 @@ StaticSiteAnalysis StaticSiteAnalysis::analyze(const sim::Program& program) {
   const sim::DecodedProgram& dec = program.decoded();
   const u32 n = static_cast<u32>(code.size());
   result.classes_.assign(n, SiteClass::kLive);
+  result.strike_span_.assign(n, 0);
+  result.strike_live_.assign(static_cast<std::size_t>(n) * kMaxStrikeSpan, 0);
   if (n == 0) return result;
 
   const Cfg cfg = Cfg::build(program);
   const Liveness live = Liveness::compute(program, cfg);
+  const BitLiveness bits = BitLiveness::compute(program, cfg, live);
 
   for (u32 pc = 0; pc < n; ++pc) {
     const Instr& instr = code[pc];
@@ -26,7 +32,9 @@ StaticSiteAnalysis StaticSiteAnalysis::analyze(const sim::Program& program) {
     SiteClass cls = SiteClass::kLive;
     if (instr.writes_pred()) {
       if (instr.dst.is_pred() && instr.dst.index < sim::kPredT) {
-        cls = live.pred_live_out(pc, static_cast<u8>(instr.dst.index))
+        // Bit-level predicate liveness refines the register-level result:
+        // a predicate consumed only by dead computation is dead too.
+        cls = bits.pred_live_out(pc, static_cast<u8>(instr.dst.index))
                   ? SiteClass::kLive
                   : SiteClass::kDead;
       } else {
@@ -37,15 +45,24 @@ StaticSiteAnalysis StaticSiteAnalysis::analyze(const sim::Program& program) {
       cls = SiteClass::kLive;  // never prune a degenerate RZ-fragment MMA
     } else if ((instr.writes_reg() || instr.op == Opcode::kHmma) &&
                instr.dst.is_reg()) {
-      const DefUse& du = dec.def_use(pc);
-      bool all_dead = !du.strike_regs.empty();
-      for (u16 r : du.strike_regs) {
-        if (r >= program.num_regs() || live.reg_live_out(pc, r)) {
-          all_dead = false;
-          break;
-        }
+      // strike_iov corrupts the full dst_reg_span() footprint; classify
+      // each footprint register's bits via bit-liveness. Out-of-range
+      // registers are unanalyzable and stay fully live.
+      const u16 span = instr.dst_reg_span();
+      result.strike_span_[pc] = span;
+      bool any_live = false;
+      bool any_dead = false;
+      for (u16 s = 0; s < span; ++s) {
+        const u16 r = static_cast<u16>(instr.dst.index + s);
+        const u32 mask = r >= program.num_regs()
+                             ? 0xffffffffu
+                             : bits.reg_live_out_mask(pc, r);
+        result.strike_live_[pc * kMaxStrikeSpan + s] = mask;
+        any_live = any_live || mask != 0;
+        any_dead = any_dead || mask != 0xffffffffu;
       }
-      cls = all_dead ? SiteClass::kDead : SiteClass::kLive;
+      cls = !any_live ? SiteClass::kDead
+                      : (any_dead ? SiteClass::kPartialDead : SiteClass::kLive);
     } else {
       // Nothing for the injector to corrupt: RZ-destination ALU/atomic/
       // load discards, ballot into RZ.
@@ -53,8 +70,18 @@ StaticSiteAnalysis StaticSiteAnalysis::analyze(const sim::Program& program) {
     }
     result.classes_[pc] = cls;
     if (cls == SiteClass::kDead) ++result.num_dead_pcs_;
+    if (cls == SiteClass::kPartialDead) ++result.num_partial_pcs_;
   }
   return result;
+}
+
+u32 StaticSiteAnalysis::num_dead_bits(u32 pc) const {
+  u32 dead = 0;
+  for (u16 s = 0; s < strike_span_[pc]; ++s) {
+    dead += static_cast<u32>(
+        std::popcount(~strike_live_[pc * kMaxStrikeSpan + s]));
+  }
+  return dead;
 }
 
 const PruneEntry* PruneMap::find(sim::InstrGroup group, u64 occurrence) const {

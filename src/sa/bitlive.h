@@ -1,0 +1,89 @@
+// Backward bit-liveness: which *bits* of each register may still influence
+// an architecturally visible effect (memory, control flow, cross-lane
+// traffic) after an instruction completes.
+//
+// The lattice is a 32-bit live mask per (pc, register) plus one live bit per
+// predicate; join is bitwise OR. Transfer functions are demand-driven: the
+// bits an instruction demands from its sources derive from the live-out
+// masks of its destination (LOP with a known immediate kills masked-off
+// source bits, SHF translates masks by the executor's masked shift amount,
+// IADD/IMUL carry chains smear demand downward, MOV/SEL pass through), so a
+// value consumed only by dead computation is itself dead — a strict
+// refinement of register-level liveness. Where a transfer cannot do better
+// it punts to "all source bits live" (IMAD factors, FP arithmetic,
+// converts, cross-lane readers); memory addresses and store data are always
+// fully demanded because a flipped address can trap, which is visible even
+// when the loaded value is dead.
+//
+// Soundness contract (what ace.cc's dead-bit pruning relies on): a bit NOT
+// in reg_live_out_mask(pc, r) can be flipped after pc executes without
+// changing the launch's architectural trace. Query results are additionally
+// intersected with register-level Liveness, so the bit analysis can never
+// claim live state that PR 3's pruning already proved dead.
+#pragma once
+
+#include <vector>
+
+#include "sa/cfg.h"
+#include "sa/dataflow.h"
+#include "sassim/program.h"
+
+namespace gfi::sa {
+
+/// All bits at or below the highest set bit of `mask`: the source demand of
+/// a carry chain whose destination has `mask` live (dst bit i depends on
+/// source bits [0, i]).
+[[nodiscard]] constexpr u32 smear_down(u32 mask) {
+  mask |= mask >> 1;
+  mask |= mask >> 2;
+  mask |= mask >> 4;
+  mask |= mask >> 8;
+  mask |= mask >> 16;
+  return mask;
+}
+
+/// All bits at or above the lowest set bit of `mask`: the forward face of
+/// the carry argument (taint in source bit i can reach destination bits
+/// [i, 31] of an add/multiply chain). Used by the lint bit-taint pass.
+[[nodiscard]] constexpr u32 smear_up(u32 mask) {
+  mask |= mask << 1;
+  mask |= mask << 2;
+  mask |= mask << 4;
+  mask |= mask << 8;
+  mask |= mask << 16;
+  return mask;
+}
+
+class BitLiveness {
+ public:
+  /// `reg_live` must be Liveness::compute over the same program and CFG; it
+  /// seeds the refinement guarantee (results are intersected with it).
+  static BitLiveness compute(const sim::Program& program, const Cfg& cfg,
+                             const Liveness& reg_live);
+
+  /// Live bits of register `r` after the instruction at `pc` completes.
+  /// RZ and out-of-range registers read as 0 (nothing to keep alive).
+  [[nodiscard]] u32 reg_live_out_mask(u32 pc, u16 r) const {
+    if (r == sim::kRegZ || r >= num_regs_) return 0;
+    return live_out_regs_[pc * num_regs_ + r];
+  }
+  /// Live bit of predicate `p` after `pc` (PT is never live — not writable).
+  [[nodiscard]] bool pred_live_out(u32 pc, u8 p) const {
+    return p < sim::kPredT && ((live_out_preds_[pc] >> p) & 1u);
+  }
+
+  /// Bits of source register `r` the instruction at `pc` demands, given the
+  /// recorded live-out state: the forward face of the same transfer
+  /// functions. 0 when `r` is not a source of `pc` (or is demanded dead).
+  [[nodiscard]] u32 src_demand_mask(u32 pc, u16 r) const;
+
+  [[nodiscard]] u32 num_regs() const { return num_regs_; }
+
+ private:
+  const sim::DecodedProgram* dec_ = nullptr;
+  u32 num_regs_ = 0;
+  std::vector<u32> live_out_regs_;  ///< pc-major [pc * num_regs_ + r]
+  std::vector<u8> live_out_preds_;  ///< per-pc predicate live bits
+};
+
+}  // namespace gfi::sa

@@ -8,6 +8,11 @@
 // cannot end a value's live range. Cross-lane readers (SHFL/VOTE/HMMA) only
 // consume values from lanes that execute the instruction, which the CFG
 // path of that lane covers, so no extra edges are needed.
+//
+// sa/bitlive.h refines the register-level answer to bit granularity
+// (32-bit live masks per register, intersected with Liveness below so it
+// is a strict refinement); this file stays the whole-register truth that
+// seeds and bounds it.
 #pragma once
 
 #include <vector>

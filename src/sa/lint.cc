@@ -1,9 +1,11 @@
 #include "sa/lint.h"
 
 #include <algorithm>
+#include <iterator>
 #include <sstream>
 
 #include "sa/ace.h"
+#include "sa/bitlive.h"
 #include "sa/cfg.h"
 #include "sa/dataflow.h"
 #include "sassim/defuse.h"
@@ -15,6 +17,8 @@ using sim::Instr;
 using sim::Opcode;
 
 namespace {
+
+constexpr u32 kAllBits = 0xffffffffu;
 
 void add(LintReport& report, LintCheck check, Severity severity, u32 pc,
          std::string message) {
@@ -85,6 +89,206 @@ void check_shared_bounds(const sim::Program& program, const Cfg& cfg,
             msg.str());
         break;
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partially-uninitialised reads: forward bit-taint. A register bit is
+// tainted when its value can still be the launch state no instruction ever
+// wrote; defs clear taint, but a def *derived from* a tainted source keeps
+// the taint alive at bit granularity (the forward face of bitlive.h's
+// backward transfers). A read whose demanded bits intersect the taint — on a
+// register ReachingDefs considers fully defined, so kUninitRegRead stays
+// silent — publishes partially-uninitialised data.
+// ---------------------------------------------------------------------------
+
+/// Forward per-instruction taint transfer, keyed by sim::bit_semantics.
+class TaintTransfer {
+ public:
+  TaintTransfer(const sim::DecodedProgram& dec, u32 num_regs)
+      : dec_(&dec), num_regs_(num_regs) {}
+
+  void apply(u32 pc, std::vector<u32>& taint) const {
+    const sim::DecodedInstr& d = dec_->at(pc);
+    const DefUse& du = dec_->def_use(pc);
+    if (du.dst_regs.empty()) return;
+
+    const bool wide = d.wide;
+    auto src_taint = [&](const sim::DecodedOperand& o, u16 s) -> u32 {
+      if (o.kind != sim::OperandKind::kReg || o.index == sim::kRegZ) return 0;
+      const u32 r = static_cast<u32>(o.index) + s;
+      return r < num_regs_ ? taint[r] : 0;
+    };
+    auto any_src_taint = [&]() -> u32 {
+      u32 acc = 0;
+      for (u16 r : du.src_regs) {
+        if (r < num_regs_) acc |= taint[r];
+      }
+      return acc;
+    };
+
+    u32 nt[4] = {0, 0, 0, 0};  // new taint per dst register offset
+    switch (sim::bit_semantics(d.op)) {
+      case sim::BitSemantics::kNone:
+      case sim::BitSemantics::kMemory:
+        break;  // S2R/LDC/load/atomic results are system- or memory-defined
+      case sim::BitSemantics::kCompare:
+        break;  // predicate destinations are not taint-tracked
+
+      case sim::BitSemantics::kPassThrough:
+        for (u16 s = 0; s < (wide ? 2 : 1); ++s) {
+          nt[s] = src_taint(d.src[0], s);
+          if (d.op == Opcode::kSel) nt[s] |= src_taint(d.src[1], s);
+        }
+        break;
+
+      case sim::BitSemantics::kBitwise: {
+        const auto kind = static_cast<sim::LopKind>(d.sub);
+        for (u16 s = 0; s < (wide ? 2 : 1); ++s) {
+          const sim::DecodedOperand& a = d.src[0];
+          const sim::DecodedOperand& b = d.src[1];
+          auto imm_half = [&](const sim::DecodedOperand& o) {
+            return static_cast<u32>(o.imm >> (32 * s));
+          };
+          u32 t = src_taint(a, s) | src_taint(b, s);
+          if (kind == sim::LopKind::kAnd) {
+            // AND with 0 pins the bit to a defined value.
+            if (b.is_imm()) t &= imm_half(b);
+            if (a.is_imm()) t &= imm_half(a);
+          } else if (kind == sim::LopKind::kOr) {
+            // OR with 1 pins likewise.
+            if (b.is_imm()) t &= ~imm_half(b);
+            if (a.is_imm()) t &= ~imm_half(a);
+          }
+          nt[s] = t;
+        }
+        break;
+      }
+
+      case sim::BitSemantics::kShift: {
+        const u32 width = wide ? 64 : 32;
+        const u64 st =
+            static_cast<u64>(src_taint(d.src[0], 0)) |
+            (wide ? static_cast<u64>(src_taint(d.src[0], 1)) << 32 : 0);
+        const sim::DecodedOperand& amount = d.src[1];
+        u64 out = 0;
+        if (amount.is_imm()) {
+          const u32 k = static_cast<u32>(amount.imm) & (width - 1);
+          switch (static_cast<sim::ShiftKind>(d.sub)) {
+            case sim::ShiftKind::kLeft:
+              out = st << k;  // shifted-in zeros are defined
+              break;
+            case sim::ShiftKind::kRightLogical:
+              out = st >> k;
+              break;
+            case sim::ShiftKind::kRightArith:
+              out = st >> k;
+              if (k > 0 && ((st >> (width - 1)) & 1)) {
+                out |= ((1ull << k) - 1) << (width - k);  // replicated sign
+              }
+              break;
+          }
+        } else {
+          out = (st | src_taint(amount, 0)) ? ~0ull : 0;
+        }
+        if (width == 32) out &= 0xffffffffull;
+        nt[0] = static_cast<u32>(out);
+        nt[1] = static_cast<u32>(out >> 32);
+        break;
+      }
+
+      case sim::BitSemantics::kCarry: {
+        if (wide || d.dtype == sim::DType::kU64) {
+          const u32 any = any_src_taint() ? kAllBits : 0;
+          nt[0] = nt[1] = any;
+        } else {
+          // Carries move taint upward only: source bit i reaches dst [i, 31].
+          nt[0] = smear_up(any_src_taint());
+        }
+        break;
+      }
+
+      case sim::BitSemantics::kAllOrNothing:
+      case sim::BitSemantics::kCrossLane: {
+        const u32 any = any_src_taint() ? kAllBits : 0;
+        nt[0] = nt[1] = nt[2] = nt[3] = any;
+        break;
+      }
+    }
+
+    for (u16 r : du.dst_regs) {
+      if (r >= num_regs_) continue;
+      const u32 s = static_cast<u32>(r) - d.dst_index;
+      const u32 v = s < 4 ? nt[s] : 0;
+      taint[r] = d.guarded ? (taint[r] | v) : v;  // a guard cannot kill
+    }
+  }
+
+ private:
+  const sim::DecodedProgram* dec_;
+  u32 num_regs_;
+};
+
+void check_partial_uninit(const sim::Program& program, const Cfg& cfg,
+                          const Liveness& live, const ReachingDefs& reaching,
+                          LintReport& report) {
+  const u32 num_regs = program.num_regs();
+  if (num_regs == 0 || cfg.empty()) return;
+  const sim::DecodedProgram& dec = program.decoded();
+  const BitLiveness bits = BitLiveness::compute(program, cfg, live);
+  const TaintTransfer transfer(dec, num_regs);
+  const auto& blocks = cfg.blocks();
+  const u32 nblocks = static_cast<u32>(blocks.size());
+
+  // Forward fixpoint, join = OR. The entry starts fully tainted (launch
+  // state: no instruction has written anything yet); unreachable blocks are
+  // never propagated into and report nothing.
+  std::vector<std::vector<u32>> block_in(nblocks,
+                                         std::vector<u32>(num_regs, 0));
+  block_in[0].assign(num_regs, kAllBits);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (u32 b = 0; b < nblocks; ++b) {
+      if (!blocks[b].reachable) continue;
+      std::vector<u32> state = block_in[b];
+      for (u32 pc = blocks[b].first; pc <= blocks[b].last; ++pc) {
+        transfer.apply(pc, state);
+      }
+      for (u32 succ : blocks[b].succs) {
+        for (u32 i = 0; i < num_regs; ++i) {
+          const u32 next = block_in[succ][i] | state[i];
+          if (next != block_in[succ][i]) {
+            block_in[succ][i] = next;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  for (u32 b = 0; b < nblocks; ++b) {
+    if (!blocks[b].reachable) continue;
+    std::vector<u32> state = block_in[b];
+    for (u32 pc = blocks[b].first; pc <= blocks[b].last; ++pc) {
+      const DefUse& du = dec.def_use(pc);
+      for (u16 r : du.src_regs) {
+        if (r >= num_regs) continue;
+        // Whole-register uninit reads are kUninitRegRead's finding; this
+        // check owns the reads ReachingDefs considers fully defined.
+        if (reaching.reg_may_be_uninit(pc, r)) continue;
+        const u32 flagged = state[r] & bits.src_demand_mask(pc, r);
+        if (flagged != 0) {
+          std::ostringstream msg;
+          msg << "R" << r << " bits 0x" << std::hex << flagged << std::dec
+              << " consumed here trace back to launch state no instruction"
+                 " wrote (partially-uninitialised value)";
+          add(report, LintCheck::kPartialUninitRead, Severity::kWarning, pc,
+              msg.str());
+        }
+      }
+      transfer.apply(pc, state);
     }
   }
 }
@@ -210,6 +414,7 @@ LintReport lint(const sim::Program& program) {
   }
 
   check_shared_bounds(program, cfg, reaching, report);
+  check_partial_uninit(program, cfg, live, reaching, report);
 
   std::stable_sort(report.findings.begin(), report.findings.end(),
                    [](const LintFinding& a, const LintFinding& b) {
@@ -248,6 +453,7 @@ const char* check_name(LintCheck check) {
     case LintCheck::kSharedOutOfBounds: return "shared-out-of-bounds";
     case LintCheck::kUnreachableCode:   return "unreachable-code";
     case LintCheck::kDeadValue:         return "dead-value";
+    case LintCheck::kPartialUninitRead: return "partial-uninit-read";
   }
   return "unknown";
 }
@@ -294,6 +500,67 @@ std::string to_json(const LintReport& report) {
   out << "], \"errors\": " << report.count(Severity::kError)
       << ", \"warnings\": " << report.count(Severity::kWarning)
       << ", \"infos\": " << report.count(Severity::kInfo) << "}";
+  return out.str();
+}
+
+namespace {
+
+constexpr LintCheck kAllChecks[] = {
+    LintCheck::kUninitRegRead,     LintCheck::kUninitPredRead,
+    LintCheck::kWriteToRZ,         LintCheck::kWriteToPT,
+    LintCheck::kSyncUnderflow,     LintCheck::kSsySyncImbalance,
+    LintCheck::kDivergentBarrier,  LintCheck::kSharedOutOfBounds,
+    LintCheck::kUnreachableCode,   LintCheck::kDeadValue,
+    LintCheck::kPartialUninitRead,
+};
+
+const char* sarif_level(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:    return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError:   return "error";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<LintReport>& reports) {
+  std::ostringstream out;
+  out << "{\"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\", "
+         "\"version\": \"2.1.0\", \"runs\": [{\"tool\": {\"driver\": "
+         "{\"name\": \"gpufi-lint\", \"rules\": [";
+  for (std::size_t i = 0; i < std::size(kAllChecks); ++i) {
+    if (i > 0) out << ", ";
+    out << "{\"id\": \"" << check_name(kAllChecks[i])
+        << "\", \"shortDescription\": {\"text\": \""
+        << check_name(kAllChecks[i]) << "\"}}";
+  }
+  out << "]}}, \"results\": [";
+  bool first = true;
+  for (const LintReport& report : reports) {
+    for (const LintFinding& f : report.findings) {
+      if (!first) out << ", ";
+      first = false;
+      std::size_t rule_index = 0;
+      for (std::size_t i = 0; i < std::size(kAllChecks); ++i) {
+        if (kAllChecks[i] == f.check) rule_index = i;
+      }
+      out << "{\"ruleId\": \"" << check_name(f.check)
+          << "\", \"ruleIndex\": " << rule_index << ", \"level\": \""
+          << sarif_level(f.severity) << "\", \"message\": {\"text\": \"";
+      json_escape(out, f.message);
+      // The "file" is the kernel; pc maps to a 1-based virtual line so code
+      // scanning UIs have a stable anchor per instruction.
+      out << "\"}, \"locations\": [{\"physicalLocation\": "
+             "{\"artifactLocation\": {\"uri\": \"";
+      json_escape(out, report.program);
+      out << ".sass\"}, \"region\": {\"startLine\": " << (f.pc + 1)
+          << "}}}]}";
+    }
+  }
+  out << "]}]}";
   return out.str();
 }
 

@@ -22,6 +22,8 @@ enum class LintCheck : u8 {
   kSharedOutOfBounds, ///< constant shared address beyond shared_bytes
   kUnreachableCode,   ///< block unreachable from the entry
   kDeadValue,         ///< side-effect-free result never read (prunable)
+  kPartialUninitRead, ///< consumed bits trace back to a never-written value
+                      ///< through a partially-defining chain (bit taint)
 };
 
 struct LintFinding {
@@ -53,5 +55,11 @@ const char* severity_name(Severity severity);
 /// {"program": ..., "findings": [{"pc", "check", "severity", "message"}],
 ///  "errors": N, "warnings": N, "infos": N}
 std::string to_json(const LintReport& report);
+
+/// SARIF 2.1.0 serialisation for `gpufi lint --sarif=<file>`: one run with
+/// every LintCheck as a reportingDescriptor rule and one result per finding,
+/// located at virtual line pc+1 of an artifact named after the program. The
+/// format is what GitHub code scanning ingests.
+std::string to_sarif(const std::vector<LintReport>& reports);
 
 }  // namespace gfi::sa

@@ -220,4 +220,57 @@ DefUse def_use(const Instr& instr) {
   return du;
 }
 
+BitSemantics bit_semantics(Opcode op) {
+  // No default: adding an opcode without classifying it here is a compile
+  // warning (-Wswitch), and the completeness-guard test audits the table.
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kExit:
+    case Opcode::kBra:
+    case Opcode::kSsy:
+    case Opcode::kSync:
+    case Opcode::kBar:
+    case Opcode::kS2r:
+    case Opcode::kLdc:
+      return BitSemantics::kNone;
+    case Opcode::kMov:
+    case Opcode::kSel:
+      return BitSemantics::kPassThrough;
+    case Opcode::kLop:
+      return BitSemantics::kBitwise;
+    case Opcode::kShf:
+      return BitSemantics::kShift;
+    case Opcode::kIAdd:
+    case Opcode::kIMul:
+    case Opcode::kIMad:  // carry accumulator; factors punt to full demand
+      return BitSemantics::kCarry;
+    case Opcode::kISetp:
+    case Opcode::kFSetp:
+      return BitSemantics::kCompare;
+    case Opcode::kIMnmx:
+    case Opcode::kPopc:
+    case Opcode::kFAdd:
+    case Opcode::kFMul:
+    case Opcode::kFFma:
+    case Opcode::kFMnmx:
+    case Opcode::kMufu:
+    case Opcode::kF2I:
+    case Opcode::kI2F:
+    case Opcode::kF2F:
+      return BitSemantics::kAllOrNothing;
+    case Opcode::kLdg:
+    case Opcode::kStg:
+    case Opcode::kLds:
+    case Opcode::kSts:
+    case Opcode::kAtomG:
+    case Opcode::kAtomS:
+      return BitSemantics::kMemory;
+    case Opcode::kShfl:
+    case Opcode::kVote:
+    case Opcode::kHmma:
+      return BitSemantics::kCrossLane;
+  }
+  return BitSemantics::kAllOrNothing;  // unreachable
+}
+
 }  // namespace gfi::sim

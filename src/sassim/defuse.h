@@ -59,6 +59,30 @@ struct DefUse {
 /// Computes the def/use footprint of `instr`, mirroring the executor.
 [[nodiscard]] DefUse def_use(const Instr& instr);
 
+/// How an instruction's consumed source bits relate to its produced
+/// destination bits — the coarse routing the bit-liveness transfer
+/// functions (sa/bitlive.h) dispatch on. Every opcode is enumerated
+/// explicitly (no silent default); a completeness-guard test cross-checks
+/// this table against the opcode inventory so a new opcode cannot land
+/// without declaring its bit behaviour.
+enum class BitSemantics : u8 {
+  kNone,         ///< no data sources (control, NOP, BAR, S2R, LDC)
+  kPassThrough,  ///< dst bit i consumes exactly src bit i (MOV, SEL)
+  kBitwise,      ///< LOP: per-bit; known immediates kill masked-off bits
+  kShift,        ///< SHF: demand translated by the (masked) shift amount
+  kCarry,        ///< IADD/IMUL/IMAD chains: dst bit i consumes bits [0, i]
+  kCompare,      ///< ISETP/FSETP: the predicate consumes every compared bit
+  kAllOrNothing, ///< any live dst bit demands all source bits (IMNMX, FP
+                 ///< arithmetic, converts, MUFU, POPC)
+  kMemory,       ///< loads/stores/atomics: addresses fully demanded always
+                 ///< (a flipped address can trap); store data demanded to
+                 ///< the access width
+  kCrossLane,    ///< SHFL/VOTE/HMMA: conservative full demand, always
+};
+
+/// The bit-semantics class of `op`. Exhaustive over the opcode inventory.
+[[nodiscard]] BitSemantics bit_semantics(Opcode op);
+
 /// True when the instruction can be predicated off for some lanes — its
 /// writes must not count as liveness kills (a masked lane's register
 /// survives the instruction untouched).

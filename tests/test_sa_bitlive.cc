@@ -1,0 +1,384 @@
+// Bit-liveness (sa/bitlive.h): per-opcode transfer edge cases, the
+// strict-refinement contract over register-level liveness, and the
+// completeness guard pairing every opcode with an enumerated bit-semantics
+// category.
+#include <gtest/gtest.h>
+
+#include "harden/swift.h"
+#include "sa/ace.h"
+#include "sa/bitlive.h"
+#include "sa/cfg.h"
+#include "sa/dataflow.h"
+#include "sassim/defuse.h"
+#include "sassim/kernel_builder.h"
+#include "workloads/workload.h"
+
+namespace gfi {
+namespace {
+
+using sim::BitSemantics;
+using sim::CmpOp;
+using sim::DType;
+using sim::KernelBuilder;
+using sim::Opcode;
+using sim::Operand;
+using sim::ShiftKind;
+
+constexpr u32 kAll = 0xffffffffu;
+
+sim::Program must_build(KernelBuilder& b) {
+  auto program = b.build();
+  EXPECT_TRUE(program.is_ok()) << program.status().to_string();
+  return std::move(program).take();
+}
+
+// ---------------------------------------------------------------------------
+// Completeness guard: every opcode carries an explicitly enumerated
+// bit-semantics category — conservative fallbacks are allowed but must be
+// spelled out here, so a new opcode cannot slip through on a silent default
+// (sim::bit_semantics itself is a no-default switch, so -Wswitch guards the
+// implementation side).
+// ---------------------------------------------------------------------------
+struct SemanticsEntry {
+  Opcode op;
+  BitSemantics sem;
+};
+constexpr SemanticsEntry kExpectedSemantics[] = {
+    {Opcode::kNop, BitSemantics::kNone},
+    {Opcode::kExit, BitSemantics::kNone},
+    {Opcode::kBra, BitSemantics::kNone},
+    {Opcode::kSsy, BitSemantics::kNone},
+    {Opcode::kSync, BitSemantics::kNone},
+    {Opcode::kBar, BitSemantics::kNone},
+    {Opcode::kMov, BitSemantics::kPassThrough},
+    {Opcode::kSel, BitSemantics::kPassThrough},
+    {Opcode::kS2r, BitSemantics::kNone},
+    {Opcode::kLdc, BitSemantics::kNone},
+    {Opcode::kIAdd, BitSemantics::kCarry},
+    {Opcode::kIMul, BitSemantics::kCarry},
+    {Opcode::kIMad, BitSemantics::kCarry},
+    {Opcode::kIMnmx, BitSemantics::kAllOrNothing},
+    {Opcode::kISetp, BitSemantics::kCompare},
+    {Opcode::kLop, BitSemantics::kBitwise},
+    {Opcode::kShf, BitSemantics::kShift},
+    {Opcode::kPopc, BitSemantics::kAllOrNothing},
+    {Opcode::kFAdd, BitSemantics::kAllOrNothing},
+    {Opcode::kFMul, BitSemantics::kAllOrNothing},
+    {Opcode::kFFma, BitSemantics::kAllOrNothing},
+    {Opcode::kFMnmx, BitSemantics::kAllOrNothing},
+    {Opcode::kFSetp, BitSemantics::kCompare},
+    {Opcode::kMufu, BitSemantics::kAllOrNothing},
+    {Opcode::kF2I, BitSemantics::kAllOrNothing},
+    {Opcode::kI2F, BitSemantics::kAllOrNothing},
+    {Opcode::kF2F, BitSemantics::kAllOrNothing},
+    {Opcode::kLdg, BitSemantics::kMemory},
+    {Opcode::kStg, BitSemantics::kMemory},
+    {Opcode::kLds, BitSemantics::kMemory},
+    {Opcode::kSts, BitSemantics::kMemory},
+    {Opcode::kAtomG, BitSemantics::kMemory},
+    {Opcode::kAtomS, BitSemantics::kMemory},
+    {Opcode::kShfl, BitSemantics::kCrossLane},
+    {Opcode::kVote, BitSemantics::kCrossLane},
+    {Opcode::kHmma, BitSemantics::kCrossLane},
+};
+static_assert(std::size(kExpectedSemantics) == sim::kOpcodeCount,
+              "enumerate a BitSemantics category for every opcode");
+
+TEST(SaBitlive, EveryOpcodeHasEnumeratedBitSemantics) {
+  bool seen[sim::kOpcodeCount] = {};
+  for (const SemanticsEntry& entry : kExpectedSemantics) {
+    EXPECT_EQ(sim::bit_semantics(entry.op), entry.sem)
+        << sim::opcode_name(entry.op);
+    seen[static_cast<int>(entry.op)] = true;
+  }
+  for (int i = 0; i < sim::kOpcodeCount; ++i) {
+    EXPECT_TRUE(seen[i]) << "opcode " << i << " missing from the table";
+  }
+}
+
+// Cross-audit over the whole built-in suite: the category each instruction
+// claims must be consistent with its def_use footprint, so bit_semantics and
+// sim::def_use cannot drift apart silently.
+TEST(SaBitlive, BitSemanticsConsistentWithDefUseFootprints) {
+  harden::register_hardened_workloads();
+  for (const std::string& name : wl::workload_names()) {
+    auto workload = wl::make_workload(name);
+    ASSERT_NE(workload, nullptr) << name;
+    const sim::Program& program = workload->program();
+    const sim::DecodedProgram& dec = program.decoded();
+    for (u32 pc = 0; pc < program.size(); ++pc) {
+      const sim::Instr& instr = program.at(pc);
+      const sim::DefUse& du = dec.def_use(pc);
+      switch (sim::bit_semantics(instr.op)) {
+        case BitSemantics::kNone:
+          EXPECT_TRUE(du.src_regs.empty())
+              << name << " pc " << pc << ": kNone opcode with data sources";
+          break;
+        case BitSemantics::kMemory:
+          EXPECT_TRUE(instr.is_memory()) << name << " pc " << pc;
+          break;
+        case BitSemantics::kCompare:
+          EXPECT_NE(du.dst_preds, 0) << name << " pc " << pc;
+          break;
+        case BitSemantics::kPassThrough:
+        case BitSemantics::kBitwise:
+        case BitSemantics::kShift:
+        case BitSemantics::kCarry:
+          EXPECT_TRUE(instr.writes_reg()) << name << " pc " << pc;
+          break;
+        case BitSemantics::kAllOrNothing:
+        case BitSemantics::kCrossLane:
+          break;  // conservative categories carry no footprint invariant
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transfer-function edge cases, asserted through the strike-footprint masks
+// StaticSiteAnalysis records (the consumer the campaign pruning relies on).
+// ---------------------------------------------------------------------------
+
+// The executor masks shift amounts (& 31; & 63 wide): SHF.L by 32 wraps to a
+// shift by 0, so every source bit stays live — a naive ">= width means the
+// value is gone" transfer would misclassify the producer as dead.
+TEST(SaBitlive, ShiftByThirtyTwoWrapsToZero) {
+  KernelBuilder b("shf_wrap");
+  b.ldc_u64(8, 0);
+  b.mov_u32(2, Operand::imm_u(0xdeadbeef));            // pc 1
+  b.shf(ShiftKind::kLeft, 3, Operand::reg(2), Operand::imm_u(32));
+  b.stg(8, 3);
+  b.exit_();
+  const auto program = must_build(b);
+  const auto sites = sa::StaticSiteAnalysis::analyze(program);
+  EXPECT_EQ(sites.site_class(1), sa::SiteClass::kLive);
+  EXPECT_EQ(sites.strike_live_mask(1, 0), kAll);
+  EXPECT_EQ(sites.num_dead_bits(1), 0u);
+}
+
+// A left shift by k kills the top k source bits (they fall off the end);
+// a logical right shift kills the bottom k.
+TEST(SaBitlive, ShiftTranslatesLiveMasks) {
+  KernelBuilder b("shf_masks");
+  b.ldc_u64(8, 0);
+  b.mov_u32(2, Operand::imm_u(1));                     // pc 1: << 8 source
+  b.shf(ShiftKind::kLeft, 3, Operand::reg(2), Operand::imm_u(8));
+  b.mov_u32(4, Operand::imm_u(2));                     // pc 3: >> 12 source
+  b.shf(ShiftKind::kRightLogical, 5, Operand::reg(4), Operand::imm_u(12));
+  b.stg(8, 3);
+  b.stg(8, 5, 4);
+  b.exit_();
+  const auto program = must_build(b);
+  const auto sites = sa::StaticSiteAnalysis::analyze(program);
+  EXPECT_EQ(sites.site_class(1), sa::SiteClass::kPartialDead);
+  EXPECT_EQ(sites.strike_live_mask(1, 0), 0x00ffffffu);
+  EXPECT_EQ(sites.num_dead_bits(1), 8u);
+  EXPECT_EQ(sites.site_class(3), sa::SiteClass::kPartialDead);
+  EXPECT_EQ(sites.strike_live_mask(3, 0), 0xfffff000u);
+  EXPECT_EQ(sites.num_dead_bits(3), 12u);
+}
+
+// A variable shift amount is consulted only in its low log2(width) bits:
+// flipping bit 5+ of a 32-bit shift amount cannot change the result.
+TEST(SaBitlive, VariableShiftDemandsOnlyAmountLowBits) {
+  KernelBuilder b("shf_var");
+  b.ldc_u64(8, 0);
+  b.mov_u32(2, Operand::imm_u(77));   // pc 1: data (fully live: punt)
+  b.mov_u32(4, Operand::imm_u(3));    // pc 2: amount (low 5 bits live)
+  b.shf(ShiftKind::kLeft, 3, Operand::reg(2), Operand::reg(4));
+  b.stg(8, 3);
+  b.exit_();
+  const auto program = must_build(b);
+  const auto sites = sa::StaticSiteAnalysis::analyze(program);
+  EXPECT_EQ(sites.site_class(1), sa::SiteClass::kLive);
+  EXPECT_EQ(sites.site_class(2), sa::SiteClass::kPartialDead);
+  EXPECT_EQ(sites.strike_live_mask(2, 0), 31u);
+  EXPECT_EQ(sites.num_dead_bits(2), 27u);
+}
+
+// 64-bit shifts mask the amount with 63 instead.
+TEST(SaBitlive, WideShiftDemandsSixAmountBits) {
+  KernelBuilder b("shf_var_wide");
+  b.ldc_u64(8, 0);
+  b.mov_u64(2, 0x123456789abcdef0ull);  // pc 1: pair R2:R3
+  b.mov_u32(6, Operand::imm_u(7));      // pc 2: amount (low 6 bits live)
+  b.shf(ShiftKind::kLeft, 4, Operand::reg(2), Operand::reg(6), DType::kU64);
+  b.stg(8, 4, 0, 8);
+  b.exit_();
+  const auto program = must_build(b);
+  const auto sites = sa::StaticSiteAnalysis::analyze(program);
+  EXPECT_EQ(sites.site_class(2), sa::SiteClass::kPartialDead);
+  EXPECT_EQ(sites.strike_live_mask(2, 0), 63u);
+}
+
+// IMAD.WIDE: when only the low word of the 64-bit product is consumed, the
+// accumulator's high word is dead (it only feeds the high result word), but
+// the factors and the low accumulator word stay fully live.
+TEST(SaBitlive, ImadWideAccumulatorHighWordDies) {
+  KernelBuilder b("imad_wide");
+  b.ldc_u64(8, 0);
+  b.mov_u32(2, Operand::imm_u(3));    // pc 1: factor
+  b.mov_u32(3, Operand::imm_u(5));    // pc 2: factor
+  b.mov_u32(4, Operand::imm_u(7));    // pc 3: acc lo
+  b.mov_u32(5, Operand::imm_u(9));    // pc 4: acc hi
+  b.imad_wide(6, Operand::reg(2), Operand::reg(3), Operand::reg(4));  // pc 5
+  b.stg(8, 6);  // only the low product word reaches memory
+  b.exit_();
+  const auto program = must_build(b);
+  const auto sites = sa::StaticSiteAnalysis::analyze(program);
+  EXPECT_EQ(sites.site_class(1), sa::SiteClass::kLive);
+  EXPECT_EQ(sites.site_class(2), sa::SiteClass::kLive);
+  EXPECT_EQ(sites.site_class(3), sa::SiteClass::kLive);
+  EXPECT_EQ(sites.site_class(4), sa::SiteClass::kDead);
+  // The IMAD.WIDE site itself: pair footprint, high word dead.
+  EXPECT_EQ(sites.site_class(5), sa::SiteClass::kPartialDead);
+  EXPECT_EQ(sites.strike_span(5), 2u);
+  EXPECT_EQ(sites.strike_live_mask(5, 0), kAll);
+  EXPECT_EQ(sites.strike_live_mask(5, 1), 0u);
+  EXPECT_EQ(sites.num_dead_bits(5), 32u);
+}
+
+// A guarded redefinition cannot kill liveness: the fall-through value of the
+// masked lanes still reaches the store.
+TEST(SaBitlive, GuardedWriteDoesNotKillBits) {
+  KernelBuilder b("guarded_def");
+  b.ldc_u64(8, 0);
+  b.mov_u32(2, Operand::imm_u(1));                                // pc 1
+  b.isetp(CmpOp::kLt, 0, Operand::reg(2), Operand::imm_u(5));     // pc 2
+  b.mov_u32(2, Operand::imm_u(42));                               // pc 3
+  b.guard_last(0);
+  b.stg(8, 2);
+  b.exit_();
+  const auto program = must_build(b);
+  const auto sites = sa::StaticSiteAnalysis::analyze(program);
+  EXPECT_EQ(sites.site_class(1), sa::SiteClass::kLive);
+  EXPECT_EQ(sites.strike_live_mask(1, 0), kAll);
+  EXPECT_EQ(sites.site_class(3), sa::SiteClass::kLive);
+}
+
+// Demand-driven predicate liveness: a predicate consumed only by a dead SEL
+// is itself dead — register-level liveness alone (which sees the SEL read)
+// would keep the ISETP site live, so this asserts the strict refinement.
+TEST(SaBitlive, PredicateFeedingDeadSelectIsDead) {
+  KernelBuilder b("dead_pred");
+  b.mov_u32(2, Operand::imm_u(1));                                // pc 0
+  b.isetp(CmpOp::kLt, 0, Operand::reg(2), Operand::imm_u(5));     // pc 1
+  b.sel(3, Operand::imm_u(1), Operand::imm_u(0), 0);              // pc 2: dead
+  b.exit_();
+  const auto program = must_build(b);
+  const auto sites = sa::StaticSiteAnalysis::analyze(program);
+  EXPECT_EQ(sites.site_class(1), sa::SiteClass::kDead);
+  EXPECT_EQ(sites.site_class(2), sa::SiteClass::kDead);
+  // And the compare's own source chain dies transitively.
+  EXPECT_EQ(sites.site_class(0), sa::SiteClass::kDead);
+
+  // Register-level liveness alone keeps P0 (and R2) live: the refinement is
+  // strict, not a restatement.
+  const sa::Cfg cfg = sa::Cfg::build(program);
+  const sa::Liveness reg_live = sa::Liveness::compute(program, cfg);
+  EXPECT_TRUE(reg_live.pred_live_out(1, 0));
+  const sa::BitLiveness bits = sa::BitLiveness::compute(program, cfg, reg_live);
+  EXPECT_FALSE(bits.pred_live_out(1, 0));
+}
+
+// Transitive dead chains: a value consumed only by computation that is
+// itself dead is dead. Register-level liveness marks the producer live (it
+// IS read); the demand-driven bit transfer zeroes the demand instead.
+TEST(SaBitlive, TransitiveDeadChainsAreDead) {
+  KernelBuilder b("dead_chain");
+  b.mov_u32(2, Operand::imm_u(5));     // pc 0: read only by the dead mov
+  b.mov_u32(3, Operand::reg(2));       // pc 1: R3 never read
+  b.exit_();
+  const auto program = must_build(b);
+  const auto sites = sa::StaticSiteAnalysis::analyze(program);
+  EXPECT_EQ(sites.site_class(0), sa::SiteClass::kDead);
+  EXPECT_EQ(sites.site_class(1), sa::SiteClass::kDead);
+
+  const sa::Cfg cfg = sa::Cfg::build(program);
+  const sa::Liveness reg_live = sa::Liveness::compute(program, cfg);
+  EXPECT_TRUE(reg_live.reg_live_out(0, 2));  // register level: live
+  const sa::BitLiveness bits = sa::BitLiveness::compute(program, cfg, reg_live);
+  EXPECT_EQ(bits.reg_live_out_mask(0, 2), 0u);  // bit level: dead
+}
+
+// Narrow stores copy only mem_width bytes: a byte store demands just the low
+// 8 bits of its data register.
+TEST(SaBitlive, NarrowStoreDemandsLowBytes) {
+  KernelBuilder b("narrow_store");
+  b.ldc_u64(8, 0);
+  b.mov_u32(2, Operand::imm_u(0xab));  // pc 1
+  b.stg(8, 2, 0, 1);
+  b.exit_();
+  const auto program = must_build(b);
+  const auto sites = sa::StaticSiteAnalysis::analyze(program);
+  EXPECT_EQ(sites.site_class(1), sa::SiteClass::kPartialDead);
+  EXPECT_EQ(sites.strike_live_mask(1, 0), 0xffu);
+  EXPECT_EQ(sites.num_dead_bits(1), 24u);
+}
+
+// LOP with a known immediate kills the masked-off source bits.
+TEST(SaBitlive, LopImmediateKillsMaskedBits) {
+  KernelBuilder b("lop_imm");
+  b.ldc_u64(8, 0);
+  b.mov_u32(2, Operand::imm_u(0x1234));  // pc 1
+  b.lop(sim::LopKind::kAnd, 3, Operand::reg(2), Operand::imm_u(0xff00));
+  b.stg(8, 3);
+  b.exit_();
+  const auto program = must_build(b);
+  const auto sites = sa::StaticSiteAnalysis::analyze(program);
+  EXPECT_EQ(sites.site_class(1), sa::SiteClass::kPartialDead);
+  EXPECT_EQ(sites.strike_live_mask(1, 0), 0xff00u);
+  EXPECT_EQ(sites.num_dead_bits(1), 24u);
+}
+
+// Loop back-edges: a value carried around a loop and consumed after it must
+// stay live through the fixed point (one backward pass over the blocks in
+// layout order would miss the back-edge contribution).
+TEST(SaBitlive, LoopBackEdgeReachesFixedPoint) {
+  KernelBuilder b("loop_live");
+  b.ldc_u64(8, 0);
+  b.mov_u32(2, Operand::imm_u(0));     // pc 1: counter
+  b.mov_u32(3, Operand::imm_u(1));     // pc 2: accumulator
+  b.uniform_loop(2, Operand::imm_u(4), 6, [&] {
+    b.iadd_u32(3, Operand::reg(3), Operand::imm_u(1));
+  });
+  b.stg(8, 3);
+  b.exit_();
+  const auto program = must_build(b);
+  const auto sites = sa::StaticSiteAnalysis::analyze(program);
+
+  u32 body_iadd = 0;
+  for (u32 pc = 0; pc < program.size(); ++pc) {
+    const sim::Instr& instr = program.at(pc);
+    if (instr.op == Opcode::kIAdd && instr.dst.is_reg() &&
+        instr.dst.index == 3) {
+      body_iadd = pc;
+    }
+  }
+  ASSERT_GT(body_iadd, 0u);
+  EXPECT_EQ(sites.site_class(2), sa::SiteClass::kLive);         // pre-loop def
+  EXPECT_EQ(sites.site_class(body_iadd), sa::SiteClass::kLive);
+  EXPECT_EQ(sites.strike_live_mask(body_iadd, 0), kAll);
+}
+
+// src_demand_mask is the forward face of the recorded state: the store's
+// demand on a narrow data register matches the mask its producer carries.
+TEST(SaBitlive, SrcDemandMatchesRecordedState) {
+  KernelBuilder b("demand");
+  b.ldc_u64(8, 0);
+  b.mov_u32(2, Operand::imm_u(0xab));  // pc 1
+  b.stg(8, 2, 0, 2);                   // pc 2: halfword store
+  b.exit_();
+  const auto program = must_build(b);
+  const sa::Cfg cfg = sa::Cfg::build(program);
+  const sa::Liveness reg_live = sa::Liveness::compute(program, cfg);
+  const sa::BitLiveness bits = sa::BitLiveness::compute(program, cfg, reg_live);
+  EXPECT_EQ(bits.src_demand_mask(2, 2), 0xffffu);
+  EXPECT_EQ(bits.reg_live_out_mask(1, 2), 0xffffu);
+  // The address register pair is always fully demanded (flips can trap).
+  EXPECT_EQ(bits.src_demand_mask(2, 8), kAll);
+  EXPECT_EQ(bits.src_demand_mask(2, 9), kAll);
+}
+
+}  // namespace
+}  // namespace gfi

@@ -145,6 +145,63 @@ TEST(SaLint, FlagsUnreachableCodeAndDeadValues) {
   EXPECT_EQ(report.count(sa::Severity::kError), 0);
 }
 
+TEST(SaLint, FlagsPartialUninitRead) {
+  // R2 is never written: the SHF read of it is a whole-register uninit read
+  // (flagged by uninit-reg-read, suppressed here), but R3 is fully *defined*
+  // by the SHF — only its top byte traces back to launch state. The store
+  // consumes all 32 bits, so the taint/demand intersection fires at the STG.
+  KernelBuilder b("partial_uninit");
+  b.ldc_u64(8, 0);
+  b.shf(sim::ShiftKind::kLeft, 3, Operand::reg(2), Operand::imm_u(24));
+  b.stg(8, 3);
+  b.exit_();
+  const auto report = sa::lint(must_build(b));
+  ASSERT_GE(report.count(sa::LintCheck::kPartialUninitRead), 1);
+  ASSERT_GE(report.count(sa::LintCheck::kUninitRegRead), 1);
+  for (const auto& finding : report.findings) {
+    if (finding.check != sa::LintCheck::kPartialUninitRead) continue;
+    EXPECT_EQ(finding.pc, 2u);
+    EXPECT_EQ(finding.severity, sa::Severity::kWarning);
+    EXPECT_NE(finding.message.find("R3"), std::string::npos);
+    EXPECT_NE(finding.message.find("0xff000000"), std::string::npos);
+  }
+}
+
+TEST(SaLint, MaskedTaintIsNotPartialUninit) {
+  // Same tainted R3, but an AND pins the uninitialised top byte to zero
+  // before the consumer; only the fully-written low bits reach the store.
+  KernelBuilder b("masked_taint");
+  b.ldc_u64(8, 0);
+  b.shf(sim::ShiftKind::kLeft, 3, Operand::reg(2), Operand::imm_u(24));
+  b.lop(sim::LopKind::kAnd, 4, Operand::reg(3), Operand::imm_u(0x00ffffff));
+  b.stg(8, 4);
+  b.exit_();
+  const auto report = sa::lint(must_build(b));
+  EXPECT_EQ(report.count(sa::LintCheck::kPartialUninitRead), 0);
+  // The whole-register uninit read on R2 is still reported once, at the SHF.
+  EXPECT_GE(report.count(sa::LintCheck::kUninitRegRead), 1);
+}
+
+TEST(SaLint, SarifOutputWellFormed) {
+  KernelBuilder b("sarif_kernel");
+  b.ldc_u64(2, 0);
+  b.stg(2, 9);  // uninit R9 -> one warning finding
+  b.exit_();
+  const auto report = sa::lint(must_build(b));
+  const std::string sarif = sa::to_sarif({report});
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+  // Rule metadata covers every check, including ones with no findings here.
+  EXPECT_NE(sarif.find("\"id\": \"uninit-reg-read\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\": \"partial-uninit-read\""), std::string::npos);
+  // The finding itself: ruleId, GitHub severity level, and a location
+  // pointing at the synthetic .sass artifact for this program.
+  EXPECT_NE(sarif.find("\"ruleId\": \"uninit-reg-read\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"warning\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif_kernel.sass"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 2"), std::string::npos);
+}
+
 TEST(SaLint, FindingsSortedAndJsonWellFormed) {
   KernelBuilder b("sorted");
   b.ldc_u64(2, 0);

@@ -152,6 +152,99 @@ TEST(SaPrune, PairedCampaignsAreBitIdentical) {
   }
 }
 
+// Dead-*bit* pruning (the bit-liveness refinement): same seeds, same
+// records, strictly more injections credited than dead-site pruning on
+// workloads with partially-dead footprints. histogram_swift carries both
+// narrow-load partial sites and SWIFT detector chains.
+TEST(SaPrune, DeadBitPairedCampaignsAreBitIdentical) {
+  harden::register_hardened_workloads();
+  for (const char* workload : {"histogram", "histogram_swift"}) {
+    auto config = base_config(workload, 0xBEEF, 200);
+    auto unpruned = fi::Campaign::run(config);
+    ASSERT_TRUE(unpruned.is_ok()) << unpruned.status().to_string();
+
+    config.prune_dead_sites = true;
+    auto dead = fi::Campaign::run(config);
+    ASSERT_TRUE(dead.is_ok()) << dead.status().to_string();
+
+    config.prune_dead_bits = true;
+    auto bits = fi::Campaign::run(config);
+    ASSERT_TRUE(bits.is_ok()) << bits.status().to_string();
+
+    expect_records_identical(unpruned.value(), dead.value());
+    expect_records_identical(unpruned.value(), bits.value());
+    // The bit refinement can only credit more, never less — and on these
+    // workloads (fixed seed) it provably credits strictly more.
+    EXPECT_GT(bits.value().pruned, dead.value().pruned) << workload;
+    EXPECT_LT(bits.value().pruned, config.num_injections) << workload;
+  }
+}
+
+// Double-bit flips are creditable only when *both* struck bits are dead;
+// the records must stay identical to the unpruned double-flip campaign.
+TEST(SaPrune, DeadBitPruningHandlesDoubleFlips) {
+  harden::register_hardened_workloads();
+  auto config = base_config("histogram_swift", 0xF00D, 200);
+  config.model.flip = fi::BitFlipModel::kDouble;
+  auto unpruned = fi::Campaign::run(config);
+  ASSERT_TRUE(unpruned.is_ok()) << unpruned.status().to_string();
+
+  config.prune_dead_sites = true;
+  config.prune_dead_bits = true;
+  auto pruned = fi::Campaign::run(config);
+  ASSERT_TRUE(pruned.is_ok()) << pruned.status().to_string();
+  expect_records_identical(unpruned.value(), pruned.value());
+}
+
+// Value-replacement flips at partial sites touch every footprint bit, so
+// only fully-dead sites are creditable — but the records must still match.
+TEST(SaPrune, DeadBitPruningFallsBackForRandomValueFlips) {
+  harden::register_hardened_workloads();
+  auto config = base_config("histogram_swift", 0xCAFE, 100);
+  config.model.flip = fi::BitFlipModel::kRandomValue;
+  auto unpruned = fi::Campaign::run(config);
+  ASSERT_TRUE(unpruned.is_ok()) << unpruned.status().to_string();
+
+  config.prune_dead_sites = true;
+  config.prune_dead_bits = true;
+  auto pruned = fi::Campaign::run(config);
+  ASSERT_TRUE(pruned.is_ok()) << pruned.status().to_string();
+  expect_records_identical(unpruned.value(), pruned.value());
+}
+
+// Partially-dead sites surface in the static bound and the per-bit AVF
+// report, and the bit-level bound dominates the register-level one.
+TEST(SaPrune, AvfReportTracksPartialSites) {
+  const auto map =
+      fi::Campaign::build_prune_map(base_config("histogram", 1, 1));
+  ASSERT_TRUE(map.is_ok()) << map.status().to_string();
+
+  const auto bound = analysis::static_masked_bound(
+      map.value(), fi::InjectionMode::kIov, std::nullopt);
+  EXPECT_GT(bound.partial, 0u);
+  EXPECT_GT(bound.partial_dead_weight, 0.0);
+  EXPECT_GE(bound.bit_masked_lower_bound(), bound.masked_lower_bound());
+
+  const auto report =
+      analysis::avf_report(map.value(), fi::InjectionMode::kIov);
+  EXPECT_EQ(report.total.eligible, bound.eligible);
+  f64 expected_weight = 0.0;
+  for (u32 bit = 0; bit < 32; ++bit) {
+    // Every per-bit bound dominates the register-level (dead-only) bound...
+    EXPECT_GE(report.bit_bounds[bit] + 1e-12, bound.masked_lower_bound())
+        << "bit " << bit;
+    expected_weight += report.bit_bounds[bit];
+  }
+  // ...and for single-register footprints their average recovers the
+  // expected random-bit bound.
+  EXPECT_NEAR(expected_weight / 32.0, bound.bit_masked_lower_bound(), 1e-9);
+
+  const std::string json =
+      analysis::to_json(report, "histogram", "toy");
+  EXPECT_NE(json.find("\"bit_bounds\""), std::string::npos);
+  EXPECT_NE(json.find("\"partial\""), std::string::npos);
+}
+
 // Pruning is defined for the value modes only; other modes must ignore the
 // flag entirely (same results, nothing credited).
 TEST(SaPrune, NonValueModesIgnorePruneFlag) {

@@ -23,6 +23,10 @@
 //                                           over one or all built-in
 //                                           workloads; exits 1 on any
 //                                           error-severity finding
+//   gpufi avf [workload] [--json]           static AVF report: per-group and
+//                                           per-bit-position masked-fraction
+//                                           lower bounds from bit-liveness
+//                                           (sa/bitlive.h), no simulation
 //   gpufi status <dir|journal|sidecar>      one-shot progress report over the
 //                                           heartbeat sidecars of a running
 //                                           (or finished) campaign: per-shard
@@ -96,11 +100,17 @@
 //   --interval=<s>           (status) --watch poll period (default 2)
 //
 // Static-analysis flags:
-//   --prune=dead|none        (campaign/compare) skip simulating IOV/PRED
+//   --prune=dead|dead-bits|none
+//                            (campaign/compare) skip simulating IOV/PRED
 //                            sites whose destination is statically dead;
-//                            records are credited analytically and outcome
+//                            `dead-bits` additionally credits single/double
+//                            flips landing only on statically dead *bits*
+//                            of partially-dead sites (sa/bitlive.h).
+//                            Records are credited analytically and outcome
 //                            tables stay bit-identical (default none)
-//   --json                   (lint) machine-readable findings
+//   --json                   (lint/avf) machine-readable findings
+//   --sarif=<file>           (lint) additionally write findings as SARIF
+//                            2.1.0 (GitHub code-scanning ingestible)
 #include <unistd.h>
 
 #include <chrono>
@@ -128,6 +138,7 @@
 #include "obs/status.h"
 #include "harden/swift.h"
 #include "recover/abft.h"
+#include "analysis/static_bound.h"
 #include "sa/lint.h"
 #include "sassim/simulator.h"
 #include "sassim/tracer.h"
@@ -139,7 +150,7 @@ using namespace gfi;
 
 /// Bumped per stacked PR; `gpufi version` pairs it with the compiled SIMD
 /// backend so bug reports pin down which execution path produced a journal.
-constexpr const char* kVersion = "0.7.0";
+constexpr const char* kVersion = "0.8.0";
 
 struct Options {
   std::string command;
@@ -166,6 +177,7 @@ struct Options {
   std::string persist = "transient";
   std::string prune = "none";
   bool json = false;
+  std::optional<std::string> sarif;  ///< --sarif=<file> (lint)
   std::optional<std::string> metrics_out;
   u64 heartbeat_ms = 2000;
   bool watch = false;
@@ -191,8 +203,8 @@ struct Options {
 int usage() {
   std::fprintf(stderr,
                "usage: gpufi "
-               "<list|disasm|golden|campaign|run|compare|merge|lint|status|"
-               "version> "
+               "<list|disasm|golden|campaign|run|compare|merge|lint|avf|"
+               "status|version> "
                "[workload|journal|dir...] [--flags]\n(see the header of "
                "tools/gpufi_cli.cc for the flag reference)\n");
   return 2;
@@ -352,8 +364,8 @@ std::optional<Options> parse(int argc, char** argv) {
       continue;
     }
     if (parse_flag(arg, "prune", &value)) {
-      if (value != "dead" && value != "none") {
-        std::fprintf(stderr, "bad --prune '%s' (want dead|none)\n",
+      if (value != "dead" && value != "dead-bits" && value != "none") {
+        std::fprintf(stderr, "bad --prune '%s' (want dead|dead-bits|none)\n",
                      value.c_str());
         return std::nullopt;
       }
@@ -362,6 +374,10 @@ std::optional<Options> parse(int argc, char** argv) {
     }
     if (arg == "--json") {
       options.json = true;
+      continue;
+    }
+    if (parse_flag(arg, "sarif", &value)) {
+      options.sarif = value;
       continue;
     }
     if (parse_flag(arg, "metrics-out", &value)) {
@@ -582,7 +598,9 @@ std::optional<fi::CampaignConfig> campaign_config(const Options& options) {
   config.watchdog_instrs = options.watchdog;
   config.threads = options.threads;
   config.heartbeat_interval_ms = options.heartbeat_ms;
-  config.prune_dead_sites = options.prune == "dead";
+  config.prune_dead_sites = options.prune == "dead" ||
+                            options.prune == "dead-bits";
+  config.prune_dead_bits = options.prune == "dead-bits";
   config.quarantine = options.quarantine;
   if (options.golden_cache) {
     fi::GoldenCache::instance().set_directory(*options.golden_cache);
@@ -665,7 +683,7 @@ int cmd_campaign(const Options& options) {
                 config->journal_path->c_str());
   }
   if (result.value().pruned > 0) {
-    std::printf("pruned %llu of %zu injections (statically dead sites, "
+    std::printf("pruned %llu of %zu injections (statically dead sites/bits, "
                 "credited analytically)\n",
                 static_cast<unsigned long long>(result.value().pruned),
                 result.value().records.size());
@@ -962,6 +980,7 @@ int cmd_lint(const Options& options) {
   }
   bool any_errors = false;
   std::string json = "[";
+  std::vector<sa::LintReport> reports;
   for (std::size_t i = 0; i < names.size(); ++i) {
     auto workload = wl::make_workload(names[i]);
     if (!workload) {
@@ -970,6 +989,7 @@ int cmd_lint(const Options& options) {
     }
     const sa::LintReport report = sa::lint(workload->program());
     any_errors = any_errors || report.has_errors();
+    if (options.sarif) reports.push_back(report);
     if (options.json) {
       if (i > 0) json += ",\n ";
       json += sa::to_json(report);
@@ -986,7 +1006,72 @@ int cmd_lint(const Options& options) {
     }
   }
   if (options.json) std::printf("%s]\n", json.c_str());
+  if (options.sarif) {
+    std::ofstream out(*options.sarif, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write SARIF to '%s'\n",
+                   options.sarif->c_str());
+      return 2;
+    }
+    out << sa::to_sarif(reports) << "\n";
+  }
   return any_errors ? 1 : 0;
+}
+
+int cmd_avf(const Options& options) {
+  std::vector<std::string> names;
+  if (!options.workload.empty()) {
+    names.push_back(options.workload);
+  } else {
+    names = wl::workload_names();
+  }
+  std::string json = "[";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    Options local = options;
+    local.workload = names[i];
+    auto config = campaign_config(local);
+    if (!config) return 2;
+    auto map = fi::Campaign::build_prune_map(*config);
+    if (!map.is_ok()) {
+      std::fprintf(stderr, "%s\n", map.status().to_string().c_str());
+      return 1;
+    }
+    const analysis::AvfReport report =
+        analysis::avf_report(map.value(), config->model.mode);
+    if (options.json) {
+      if (i > 0) json += ",\n ";
+      json += analysis::to_json(report, names[i], config->machine.name);
+      continue;
+    }
+    Table table("Static AVF bounds: " + names[i] + " on " +
+                config->machine.name + ", " +
+                std::string(fi::to_string(config->model.mode)));
+    table.set_header({"group", "eligible", "dead", "partial", "inert",
+                      "masked_lb", "bit_masked_lb"});
+    auto add_bound_row = [&](const std::string& label,
+                             const analysis::StaticBound& bound) {
+      table.add_row({label, std::to_string(bound.eligible),
+                     std::to_string(bound.dead),
+                     std::to_string(bound.partial),
+                     std::to_string(bound.inert),
+                     Table::pct(bound.masked_lower_bound()),
+                     Table::pct(bound.bit_masked_lower_bound())});
+    };
+    for (const analysis::AvfReport::GroupRow& row : report.groups) {
+      add_bound_row(sim::group_name(row.group), row.bound);
+    }
+    add_bound_row("TOTAL", report.total);
+    table.print();
+    std::printf(
+        "per-bit-position masked lower bound (single-bit flip at fixed "
+        "footprint bit b):\n");
+    for (u32 bit = 0; bit < 32; ++bit) {
+      std::printf("  b%-2u %6.2f%%%s", bit, report.bit_bounds[bit] * 100.0,
+                  bit % 8 == 7 ? "\n" : "");
+    }
+  }
+  if (options.json) std::printf("%s]\n", json.c_str());
+  return 0;
 }
 
 int cmd_trace(const Options& options) {
@@ -1030,8 +1115,9 @@ int main(int argc, char** argv) {
     return cmd_version();
   }
   if (options->command == "list") return cmd_list();
-  // `lint` with no workload lints every registered kernel.
+  // `lint`/`avf` with no workload cover every registered kernel.
   if (options->command == "lint") return cmd_lint(*options);
+  if (options->command == "avf") return cmd_avf(*options);
   if (options->workload.empty()) return usage();
   if (options->command == "merge") return cmd_merge(*options);
   // `status` takes a directory / journal / sidecar path in the workload slot.
