@@ -1,17 +1,20 @@
-// Clean-path vs instrumented-path simulator throughput.
+// Hook-free vs instrumented-path simulator throughput.
 //
-// The split decode/execute refactor promises that a hook-free launch (the
-// clean path: no InstrContext, no hook walks, single guard-mask pass) is
-// substantially faster than the instrumented inner loop it replaced. This
-// bench measures both paths on the same workloads — the instrumented side
-// via LaunchOptions::force_instrumented, which preserves the pre-refactor
-// per-instruction semantics with an empty hook vector — writes
-// BENCH_sim.json, and exits 1 when the geomean clean-path speedup drops
-// below the 1.5x CI gate.
+// The tiered dispatch architecture promises that a hook-free launch — by
+// default the threaded tier: predecoded handler ids, computed-goto/switch
+// dispatch, superinstruction fusion — is substantially faster than the
+// instrumented inner loop it replaced. This bench measures both sides on
+// the same workloads — the instrumented side via EngineTier::kInstrumented,
+// which preserves the pre-refactor per-instruction semantics with an empty
+// hook vector — writes BENCH_sim.json, and exits 1 when the geomean
+// hook-free speedup drops below the 1.5x CI gate.
+//
+// --engine=instrumented|clean|threaded pins the hook-free side to one tier
+// for A/B comparisons (strict parse: anything else exits 2).
 //
 // Measurement is noise-hardened: each workload runs several alternating
-// clean/instrumented trials and each path keeps its best trial rate, so
-// frequency drift or a transient neighbor hits both paths alike instead
+// hook-free/instrumented trials and each side keeps its best trial rate, so
+// frequency drift or a transient neighbor hits both sides alike instead
 // of deciding the gate.
 //
 // GFI_BENCH_MIN_MS=<n> sets the per-workload time floor (default 300).
@@ -19,12 +22,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "arch/arch.h"
 #include "common/simd.h"
 #include "sassim/device.h"
+#include "sassim/exec_threaded.h"
 #include "workloads/workload.h"
 
 namespace {
@@ -36,7 +41,7 @@ constexpr int kTrials = 3;
 
 // The empty-hook inner-loop throughput of the engine before the decode/
 // execute split (bench_perf_sim, gemm on the A100 model, this machine
-// class): the acceptance reference the clean path must beat by >= 2x.
+// class): the acceptance reference the hook-free path must beat by >= 2x.
 constexpr double kPreRefactorGemmRate = 2.168e6;
 
 double min_ms() {
@@ -67,10 +72,11 @@ struct Bench {
     spec = setup.value();
   }
 
-  /// One timed window of hook-free launches; returns warp-instrs/sec.
-  double timed_window(bool force_instrumented, double window_s) {
+  /// One timed window of hook-free launches on `tier`; returns
+  /// warp-instrs/sec.
+  double timed_window(sim::EngineTier tier, double window_s) {
     sim::LaunchOptions options;
-    options.force_instrumented = force_instrumented;
+    options.engine = tier;
     u64 instrs = 0;
     u64 launches = 0;
     const auto start = std::chrono::steady_clock::now();
@@ -93,7 +99,7 @@ struct Bench {
 };
 
 struct PathRates {
-  double clean = 0.0;
+  double clean = 0.0;  ///< the hook-free side (selected tier)
   double instrumented = 0.0;
 
   [[nodiscard]] double speedup() const {
@@ -101,39 +107,67 @@ struct PathRates {
   }
 };
 
-PathRates measure(const std::string& name, const sim::MachineConfig& machine) {
+PathRates measure(const std::string& name, const sim::MachineConfig& machine,
+                  sim::EngineTier tier) {
   Bench bench(name, machine);
-  (void)bench.timed_window(false, 0.0);  // warm-up: decode cache + allocator
+  (void)bench.timed_window(tier, 0.0);  // warm-up: decode cache + allocator
   const double window_s = min_ms() / 1e3 / (2 * kTrials);
   PathRates best;
   for (int trial = 0; trial < kTrials; ++trial) {
-    best.clean = std::max(best.clean, bench.timed_window(false, window_s));
-    best.instrumented =
-        std::max(best.instrumented, bench.timed_window(true, window_s));
+    best.clean = std::max(best.clean, bench.timed_window(tier, window_s));
+    best.instrumented = std::max(
+        best.instrumented,
+        bench.timed_window(sim::EngineTier::kInstrumented, window_s));
   }
   return best;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sim::EngineTier tier = sim::EngineTier::kAuto;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--engine=", 9) == 0) {
+      const char* value = arg + 9;
+      if (std::strcmp(value, "instrumented") == 0) {
+        tier = sim::EngineTier::kInstrumented;
+      } else if (std::strcmp(value, "clean") == 0) {
+        tier = sim::EngineTier::kClean;
+      } else if (std::strcmp(value, "threaded") == 0) {
+        tier = sim::EngineTier::kThreaded;
+      } else {
+        std::fprintf(stderr,
+                     "invalid --engine '%s' (instrumented|clean|threaded)\n",
+                     value);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg);
+      return 2;
+    }
+  }
+
   // gemm dominates (deep FP inner loop); the others add divergence-, guard-,
   // and memory-heavy instruction mixes so neither path gets a shape it
   // happens to like.
   const std::vector<std::string> workloads = {"gemm", "scan", "reduce_u32",
                                               "saxpy"};
   const sim::MachineConfig machine = arch::a100();
+  const char* tier_name = sim::engine_tier_name(
+      tier == sim::EngineTier::kAuto ? sim::EngineTier::kThreaded : tier);
 
   std::printf("Simulator path throughput (A100 model, hook-free launches)\n");
-  std::printf("simd backend: %s\n", simd::backend());
-  std::printf("%-12s %15s %15s %9s\n", "workload", "clean (wi/s)",
+  std::printf("simd backend: %s, dispatch backend: %s, engine: %s\n",
+              simd::backend(), sim::exec::dispatch_backend(), tier_name);
+  std::printf("%-12s %15s %15s %9s\n", "workload", "hook-free (wi/s)",
               "instrumented", "speedup");
 
   std::string rows;
   double log_speedup_sum = 0.0;
   double gemm_clean = 0.0;
   for (const std::string& name : workloads) {
-    const PathRates rates = measure(name, machine);
+    const PathRates rates = measure(name, machine, tier);
     std::printf("%-12s %15.0f %15.0f %8.2fx\n", name.c_str(), rates.clean,
                 rates.instrumented, rates.speedup());
     char row[512];
@@ -154,7 +188,7 @@ int main() {
   const double vs_pre_refactor = gemm_clean / kPreRefactorGemmRate;
   std::printf("%-12s %31s %8.2fx  (gate: >= %.1fx)\n", "geomean", "",
               geomean, kGateSpeedup);
-  std::printf("gemm clean path vs pre-refactor empty-hook loop: %.2fx\n",
+  std::printf("gemm hook-free path vs pre-refactor empty-hook loop: %.2fx\n",
               vs_pre_refactor);
 
   FILE* out = std::fopen("BENCH_sim.json", "w");
@@ -165,24 +199,27 @@ int main() {
   std::fprintf(out,
                "{\n  \"bench\": \"sim_paths\",\n  \"arch\": \"%s\",\n"
                "  \"simd\": \"%s\",\n"
+               "  \"dispatch\": \"%s\",\n"
+               "  \"engine\": \"%s\",\n"
                "  \"workloads\": [\n%s  ],\n"
                "  \"geomean_speedup\": %.3f,\n"
                "  \"gate_speedup\": %.1f,\n"
                "  \"gemm_clean_warp_instrs_per_sec\": %.0f,\n"
                "  \"gemm_pre_refactor_empty_hook_warp_instrs_per_sec\": %.0f,\n"
                "  \"gemm_clean_speedup_vs_pre_refactor\": %.3f\n}\n",
-               machine.name.c_str(), simd::backend(), rows.c_str(), geomean,
+               machine.name.c_str(), simd::backend(),
+               sim::exec::dispatch_backend(), tier_name, rows.c_str(), geomean,
                kGateSpeedup,
                gemm_clean, kPreRefactorGemmRate, vs_pre_refactor);
   std::fclose(out);
 
   if (geomean < kGateSpeedup) {
     std::fprintf(stderr,
-                 "FAIL: clean-path speedup %.2fx below the %.1fx gate\n",
+                 "FAIL: hook-free speedup %.2fx below the %.1fx gate\n",
                  geomean, kGateSpeedup);
     return 1;
   }
-  std::printf("OK: clean path is %.2fx the instrumented inner loop\n",
+  std::printf("OK: hook-free path is %.2fx the instrumented inner loop\n",
               geomean);
   return 0;
 }

@@ -183,6 +183,7 @@ Result<Campaign::Golden> Campaign::golden_run(const CampaignConfig& config) {
   sim::Profile profile;
   sim::LaunchOptions options;
   options.profile = &profile;
+  options.engine = config.engine;
   auto launch = device.launch(workload->program(), spec.value().grid,
                               spec.value().block, spec.value().params, options);
   if (!launch.is_ok()) return launch.status();
@@ -353,6 +354,22 @@ Result<InjectionRecord> Campaign::run_single(const CampaignConfig& config,
       metrics ? &metrics->counter("campaign.path.instrumented") : nullptr;
   obs::Counter* path_clean =
       metrics ? &metrics->counter("campaign.path.clean") : nullptr;
+  // Dispatch-tier telemetry, keyed on what the engine actually ran
+  // (LaunchResult::tier_used) rather than what the launch requested.
+  // Purely additive: counters go only to --metrics-out snapshots, never
+  // journals, so tier pins cannot perturb journal diffs.
+  obs::Counter* tier_counter[static_cast<int>(sim::EngineTier::kThreaded) + 1] =
+      {};
+  obs::Counter* tier_downgrades = nullptr;
+  if (metrics) {
+    for (const sim::EngineTier tier :
+         {sim::EngineTier::kInstrumented, sim::EngineTier::kClean,
+          sim::EngineTier::kThreaded}) {
+      tier_counter[static_cast<int>(tier)] = &metrics->counter(
+          std::string("engine.dispatch.") + sim::engine_tier_name(tier));
+    }
+    tier_downgrades = &metrics->counter("engine.dispatch.downgrades");
+  }
 
   // One attempt = arm fault (if due) + launch + result check. The retry
   // executor restores the pre-attempt checkpoint between calls, so every
@@ -362,6 +379,7 @@ Result<InjectionRecord> Campaign::run_single(const CampaignConfig& config,
     InjectorHook injector(site.value(), device.config());
     sim::LaunchOptions options;
     options.watchdog_instrs = watchdog;
+    options.engine = config.engine;
     if (memory_mode) {
       if (armed && mem_fault) {
         device.memory().inject_fault(mem_fault->addr, mem_fault->mask);
@@ -380,6 +398,10 @@ Result<InjectionRecord> Campaign::run_single(const CampaignConfig& config,
                                 spec.value().block, spec.value().params,
                                 options);
     if (!launch.is_ok()) return launch.status();
+    if (metrics) {
+      tier_counter[static_cast<int>(launch.value().tier_used)]->inc();
+      if (launch.value().downgraded) tier_downgrades->inc();
+    }
     if (attempt == 0) {
       if (memory_mode) {
         record.effect.activated = mem_fault.has_value();
@@ -473,6 +495,7 @@ Result<sa::PruneMap> Campaign::build_prune_map(const CampaignConfig& config) {
   sa::SiteMapHook hook(map);
   sim::LaunchOptions options;
   options.hooks.push_back(&hook);
+  options.engine = config.engine;
   auto launch = device.launch(workload->program(), spec.value().grid,
                               spec.value().block, spec.value().params, options);
   if (!launch.is_ok()) return launch.status();

@@ -69,6 +69,24 @@ class GlobalMemory {
     return true;
   }
 
+  /// Batched variant of the *_nofault bounds check for the full-warp row
+  /// paths: the arena is a single contiguous extent [kBaseAddress, brk),
+  /// so checking the row's min and max word addresses covers every lane.
+  [[nodiscard]] bool row_u32_in_bounds(u64 lo, u64 hi) const {
+    return lo <= hi && in_bounds(lo, 4) && in_bounds(hi, 4);
+  }
+  /// Unchecked 32-bit accessors for row paths that already hold
+  /// row_u32_in_bounds() on a covering range and fault_free() (writes
+  /// bypass fault clearing, which is vacuous on an empty fault map).
+  [[nodiscard]] u32 read_u32_raw(u64 addr) const {
+    u32 v;
+    std::memcpy(&v, data_.data() + (addr - kBaseAddress), 4);
+    return v;
+  }
+  void write_u32_raw(u64 addr, u32 value) {
+    std::memcpy(backing(addr), &value, 4);
+  }
+
   /// Host-side copies. d2h goes through the ECC read path on purpose: a
   /// pending DBE in an output buffer surfaces when results are copied back,
   /// just as cudaMemcpy returns an ECC error on real hardware.

@@ -10,6 +10,7 @@
 
 #include "common/bitutil.h"
 #include "sassim/decoded.h"
+#include "sassim/exec_threaded.h"
 #include "sassim/exec_vec.h"
 #include "sassim/profiler.h"
 
@@ -78,20 +79,28 @@ f32 mufu_eval(MufuKind kind, f32 x) {
 // Instrumentation policies
 // ---------------------------------------------------------------------------
 //
-// The execution core is templated over one of these two tags and the
-// compiler instantiates it exactly twice. The Instrumented instantiation
-// reproduces the historical inner loop bit-for-bit: InstrContext built per
-// dynamic instruction, guard mask computed before *and* after the
-// on_before hooks (predicate injection must take effect), store addresses
-// routed through transform_store_address. The Clean instantiation strips
-// every one of those: no context, no hook dispatch, a single guard-mask
-// computation with a fast path for unguarded (@PT) instructions.
+// The execution core is templated over one of these tags. The Instrumented
+// instantiation reproduces the historical inner loop bit-for-bit:
+// InstrContext built per dynamic instruction, guard mask computed before
+// *and* after the on_before hooks (predicate injection must take effect),
+// store addresses routed through transform_store_address. The Clean
+// instantiation strips every one of those: no context, no hook dispatch, a
+// single guard-mask computation with a fast path for unguarded (@PT)
+// instructions. The Threaded instantiation replaces Clean's opcode switch
+// with direct dispatch on the predecoded handler ids (exec_threaded.h) —
+// same scheduler, same accounting, bit-identical observables.
 
 struct CleanPolicy {
   static constexpr bool kInstrumented = false;
+  static constexpr bool kThreaded = false;
 };
 struct InstrumentedPolicy {
   static constexpr bool kInstrumented = true;
+  static constexpr bool kThreaded = false;
+};
+struct ThreadedPolicy {
+  static constexpr bool kInstrumented = false;
+  static constexpr bool kThreaded = true;
 };
 
 /// How one engine run over the launch state ended.
@@ -316,6 +325,11 @@ struct Simulator::Engine {
         }
       }
       return TrapKind::kNone;
+    } else if constexpr (Policy::kThreaded) {
+      // Threaded tier: handlers do their own exec-mask computation and
+      // accounting (fusion heads and tails must each count exactly once),
+      // so the whole slot is one direct-dispatched call.
+      return exec::threaded_dispatch(*this, cta, warp, instr);
     } else {
       // Clean path: nothing can mutate predicates between issue and
       // execute, so one guard-mask computation suffices — and an unguarded
@@ -329,6 +343,15 @@ struct Simulator::Engine {
       if (opts.profile) count_profile(instr, exec);
       return dispatch<Policy>(cta, warp, instr, exec, nullptr);
     }
+  }
+
+  /// Non-template entry into the generic clean dispatcher for the threaded
+  /// tier's fallbacks (exec_threaded.h is duck-typed over Engine and cannot
+  /// name the policy tags in this anonymous namespace). `exec` is already
+  /// accounted by the caller.
+  TrapKind dispatch_clean(Cta& cta, WarpState& warp, const DecodedInstr& instr,
+                          u32 exec) {
+    return dispatch<CleanPolicy>(cta, warp, instr, exec, nullptr);
   }
 
   // Executes `instr` for lanes in `exec`; manages the PC. `ctx` is non-null
@@ -1028,15 +1051,30 @@ struct Simulator::Engine {
     // in the SM loop for why this cannot change scheduling decisions.
     std::vector<u64> sm_next(cfg.num_sms, 0);
 
+    // SMs that still hold work, ascending. Small grids occupy a handful of
+    // the model's SMs (a 16-CTA scan on the 108-SM A100 leaves 92 forever
+    // idle), and the cycle loop used to scan all of them every cycle.
+    // Iterating only busy SMs is behavior-identical: an idle SM's iteration
+    // issues nothing and contributes the min-identity u64-max to the
+    // fast-forward, and an SM whose pool drains can never wake again —
+    // admit() backfills only from the SM's own retirement scan, so once
+    // `resident[sm]` is empty (grid exhausted) it stays empty. Holds on
+    // re-entry after a mid-launch downgrade for the same reason.
+    std::vector<u32> busy;
+    busy.reserve(cfg.num_sms);
+    for (u32 sm = 0; sm < cfg.num_sms; ++sm) {
+      if (!resident[sm].empty()) busy.push_back(sm);
+    }
+
     while (resident_count > 0) {
       if constexpr (Policy::kInstrumented) {
         // Mid-launch downgrade: once every attached hook has finished
         // observing (e.g. a one-shot injector whose fault has fired), the
         // remaining instructions cannot be affected by instrumentation, so
-        // the caller re-enters on the clean path. Checked at a cycle
-        // boundary; force_instrumented launches have no hooks and never
-        // downgrade.
-        if (!opts.hooks.empty()) {
+        // the caller re-enters on a hook-free tier. Checked at a cycle
+        // boundary; an explicitly pinned instrumented engine never
+        // downgrades (benchmark/equivalence baseline).
+        if (!opts.hooks.empty() && opts.engine != EngineTier::kInstrumented) {
           bool all_done = true;
           for (InstrumentHook* hook : opts.hooks) {
             if (!hook->done_observing()) {
@@ -1050,13 +1088,17 @@ struct Simulator::Engine {
 
       bool issued_any = false;
 
-      for (u32 sm = 0; sm < cfg.num_sms; ++sm) {
+      for (std::size_t bi = 0; bi < busy.size();) {
+        const u32 sm = busy[bi];
         // An SM whose warps are all provably stalled until a known future
         // cycle needs no scan: nothing outside this SM can wake its warps
         // (barrier releases and CTA admission are triggered by issues
         // within the same SM). Skipping the scan cannot change which warp
         // issues when, so cycle counts stay bit-identical.
-        if (sm_next[sm] > cycle) continue;
+        if (sm_next[sm] > cycle) {
+          ++bi;
+          continue;
+        }
 
         u32 budget = cfg.issue_width;
         bool warp_retired = false;
@@ -1122,8 +1164,14 @@ struct Simulator::Engine {
           }
           admit(sm);
           next_valid = false;  // fresh warps are ready immediately
+          if (pool.empty()) {
+            // Drained for good (see the busy-list invariant above).
+            busy.erase(busy.begin() + static_cast<std::ptrdiff_t>(bi));
+            continue;
+          }
         }
         sm_next[sm] = next_valid ? next_ready : 0;
+        ++bi;
       }
 
       if (issued_any) {
@@ -1133,7 +1181,7 @@ struct Simulator::Engine {
         // SM was either scanned this cycle or carries a valid future
         // sm_next from its last scan, so the per-SM minima are current.
         u64 earliest = std::numeric_limits<u64>::max();
-        for (u32 sm = 0; sm < cfg.num_sms; ++sm) {
+        for (const u32 sm : busy) {
           earliest = std::min(earliest, sm_next[sm]);
         }
         if (earliest == std::numeric_limits<u64>::max()) {
@@ -1192,16 +1240,31 @@ Result<LaunchResult> Simulator::launch(const Program& program, Dim3 grid,
 
   for (u32 sm = 0; sm < config_.num_sms; ++sm) engine.admit(sm);
 
-  // Path selection: hooks (or the benchmark baseline flag) take the
-  // instrumented engine; everything else — golden runs included — runs
-  // clean. An instrumented run whose hooks all finish observing resumes on
-  // the clean path from the identical launch state.
+  // Tier selection: hooks (or an explicit kInstrumented pin) take the
+  // instrumented engine; hook-free execution — golden runs included — runs
+  // the threaded tier unless pinned to clean. An instrumented run whose
+  // hooks all finish observing resumes hook-free from the identical launch
+  // state, landing on the same tier a hook-free launch would have used.
+  // All tiers are bit-identical in every architecturally observable way.
   RunExit exit;
-  if (!options.hooks.empty() || options.force_instrumented) {
+  EngineTier tier_used;
+  bool downgraded = false;
+  const bool pin_clean = options.engine == EngineTier::kClean;
+  if (!options.hooks.empty() || options.engine == EngineTier::kInstrumented) {
     exit = engine.run<InstrumentedPolicy>();
-    if (exit == RunExit::kDowngraded) exit = engine.run<CleanPolicy>();
-  } else {
+    tier_used = EngineTier::kInstrumented;
+    if (exit == RunExit::kDowngraded) {
+      downgraded = true;
+      exit = pin_clean ? engine.run<CleanPolicy>()
+                       : engine.run<ThreadedPolicy>();
+      tier_used = pin_clean ? EngineTier::kClean : EngineTier::kThreaded;
+    }
+  } else if (pin_clean) {
     exit = engine.run<CleanPolicy>();
+    tier_used = EngineTier::kClean;
+  } else {
+    exit = engine.run<ThreadedPolicy>();
+    tier_used = EngineTier::kThreaded;
   }
   (void)exit;
 
@@ -1211,6 +1274,8 @@ Result<LaunchResult> Simulator::launch(const Program& program, Dim3 grid,
   result.dyn_thread_instrs = engine.dyn_thread;
   result.cycles = engine.cycle;
   result.ecc = memory_.counters();
+  result.tier_used = tier_used;
+  result.downgraded = downgraded;
   return result;
 }
 

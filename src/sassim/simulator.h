@@ -25,6 +25,31 @@ namespace gfi::sim {
 
 struct Profile;
 
+/// Execution tier the engine runs a launch on. Hooked launches always need
+/// the instrumented template; the tier choice governs what hook-free
+/// execution (including the post-downgrade remainder of a hooked launch)
+/// runs on. All tiers are bit-identical in every architecturally observable
+/// way — results, traps, cycles, dynamic-instruction counts, journals —
+/// differing only in speed.
+enum class EngineTier : u8 {
+  kAuto,          ///< fastest correct tier: threaded when hook-free
+  kInstrumented,  ///< always the instrumented template (no downgrade)
+  kClean,         ///< templated clean path for hook-free execution
+  kThreaded,      ///< lowered computed-goto/switch interpreter (default)
+};
+
+/// Tier name for metrics/CLI ("auto" never appears in results: kAuto
+/// resolves to a concrete tier at launch).
+[[nodiscard]] constexpr const char* engine_tier_name(EngineTier tier) {
+  switch (tier) {
+    case EngineTier::kAuto: return "auto";
+    case EngineTier::kInstrumented: return "instrumented";
+    case EngineTier::kClean: return "clean";
+    case EngineTier::kThreaded: return "threaded";
+  }
+  return "auto";
+}
+
 /// Per-launch options.
 struct LaunchOptions {
   /// Abort with kWatchdogTimeout after this many dynamic warp instructions.
@@ -38,10 +63,15 @@ struct LaunchOptions {
   /// natively — no ProfilerHook needed, so a profile-only launch still
   /// takes the clean path. Counts match ProfilerHook's exactly.
   Profile* profile = nullptr;
-  /// Forces the instrumented engine even with no hooks attached: the exact
-  /// pre-refactor inner loop (context construction, double guard-mask
-  /// computation, empty hook walks). Benchmark/equivalence baseline only.
-  bool force_instrumented = false;
+  /// Dispatch-tier selection (replaces the old bool force_instrumented).
+  /// kAuto picks the fastest correct tier per launch: threaded when
+  /// hook-free, instrumented while hooks observe, threaded again after a
+  /// mid-launch downgrade. kInstrumented pins the exact pre-refactor inner
+  /// loop (context construction, double guard-mask computation, hook walks)
+  /// and never downgrades — benchmark/equivalence baseline. kClean and
+  /// kThreaded pin the hook-free side to one implementation for debugging
+  /// and tier-equivalence testing.
+  EngineTier engine = EngineTier::kAuto;
 };
 
 /// Outcome of one kernel launch.
@@ -51,6 +81,12 @@ struct LaunchResult {
   u64 dyn_thread_instrs = 0;  ///< sum of active lanes over those
   u64 cycles = 0;             ///< timing-model cycles
   ecc::EccCounters ecc;       ///< ECC events observed during the launch
+  /// Concrete tier the launch finished on (never kAuto); after a mid-launch
+  /// downgrade this is the tier the remainder ran on.
+  EngineTier tier_used = EngineTier::kClean;
+  /// True when an instrumented launch downgraded mid-run because every hook
+  /// finished observing.
+  bool downgraded = false;
 
   [[nodiscard]] bool ok() const { return !trap.fired(); }
   /// Wall-model execution time given the arch's SM clock.

@@ -140,6 +140,7 @@
 #include "recover/abft.h"
 #include "analysis/static_bound.h"
 #include "sa/lint.h"
+#include "sassim/exec_threaded.h"
 #include "sassim/simulator.h"
 #include "sassim/tracer.h"
 #include "workloads/workload.h"
@@ -149,8 +150,9 @@ namespace {
 using namespace gfi;
 
 /// Bumped per stacked PR; `gpufi version` pairs it with the compiled SIMD
-/// backend so bug reports pin down which execution path produced a journal.
-constexpr const char* kVersion = "0.8.0";
+/// and dispatch backends so bug reports pin down which execution path
+/// produced a journal.
+constexpr const char* kVersion = "0.9.0";
 
 struct Options {
   std::string command;
@@ -176,6 +178,7 @@ struct Options {
   std::optional<u32> max_retries;
   std::string persist = "transient";
   std::string prune = "none";
+  std::string engine = "auto";  ///< --engine dispatch-tier pin (campaign)
   bool json = false;
   std::optional<std::string> sarif;  ///< --sarif=<file> (lint)
   std::optional<std::string> metrics_out;
@@ -211,8 +214,16 @@ int usage() {
 }
 
 int cmd_version() {
-  std::printf("gpufi %s (simd=%s)\n", kVersion, simd::backend());
+  std::printf("gpufi %s (simd=%s, dispatch=%s)\n", kVersion, simd::backend(),
+              sim::exec::dispatch_backend());
   return 0;
+}
+
+sim::EngineTier engine_for(const std::string& name) {
+  if (name == "instrumented") return sim::EngineTier::kInstrumented;
+  if (name == "clean") return sim::EngineTier::kClean;
+  if (name == "threaded") return sim::EngineTier::kThreaded;
+  return sim::EngineTier::kAuto;  // parse() already validated the string
 }
 
 bool parse_flag(const std::string& arg, const std::string& name,
@@ -370,6 +381,17 @@ std::optional<Options> parse(int argc, char** argv) {
         return std::nullopt;
       }
       options.prune = value;
+      continue;
+    }
+    if (parse_flag(arg, "engine", &value)) {
+      if (value != "auto" && value != "instrumented" && value != "clean" &&
+          value != "threaded") {
+        std::fprintf(stderr,
+                     "bad --engine '%s' (want instrumented|clean|threaded)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.engine = value;
       continue;
     }
     if (arg == "--json") {
@@ -576,6 +598,7 @@ std::optional<fi::CampaignConfig> campaign_config(const Options& options) {
                                  : fi::FaultPersistence::kTransient;
   fi::CampaignConfig config;
   config.workload = options.workload;
+  config.engine = engine_for(options.engine);
   config.machine = *machine;
   config.model = {*mode, *flip, persistence};
   if (options.recover) {
@@ -752,7 +775,8 @@ int cmd_status(const Options& options) {
   const std::vector<std::string> names = outcome_names();
   // One line of engine provenance above the shard table (not repeated per
   // --watch refresh).
-  std::printf("engine: gpufi %s simd=%s\n", kVersion, simd::backend());
+  std::printf("engine: gpufi %s simd=%s dispatch=%s\n", kVersion,
+              simd::backend(), sim::exec::dispatch_backend());
   while (true) {
     auto shards = obs::load_status(options.workload);
     if (!shards.is_ok()) {
@@ -930,6 +954,9 @@ int cmd_run(const Options& options, const char* argv0) {
   }
   if (options.prune != "none") {
     config.worker_flags.push_back("--prune=" + options.prune);
+  }
+  if (options.engine != "auto") {
+    config.worker_flags.push_back("--engine=" + options.engine);
   }
   if (options.watchdog) {
     config.worker_flags.push_back("--watchdog=" +
