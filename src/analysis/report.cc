@@ -1,5 +1,6 @@
 #include "analysis/report.h"
 
+#include <array>
 #include <cstdio>
 
 #include "sassim/xid.h"
@@ -43,6 +44,44 @@ std::vector<std::string> outcome_row(const std::string& label,
   }
   row.push_back(std::to_string(result.records.size()));
   return row;
+}
+
+std::vector<stats::StratumCount> group_strata(const fi::CampaignResult& result,
+                                              fi::Outcome outcome) {
+  std::array<u64, sim::kInstrGroupCount> successes{};
+  std::array<u64, sim::kInstrGroupCount> trials{};
+  for (const fi::InjectionRecord& record : result.records) {
+    if (!record.site.group) continue;
+    const int g = static_cast<int>(*record.site.group);
+    ++trials[g];
+    if (record.outcome == outcome) ++successes[g];
+  }
+  std::vector<stats::StratumCount> strata;
+  for (int g = 0; g < sim::kInstrGroupCount; ++g) {
+    const f64 weight =
+        result.profile.total_warp_instrs
+            ? static_cast<f64>(result.profile.warp_instrs_by_group[g]) /
+                  static_cast<f64>(result.profile.total_warp_instrs)
+            : 0.0;
+    if (weight <= 0.0 && trials[g] == 0) continue;
+    stats::StratumCount stratum;
+    stratum.weight = weight;
+    stratum.successes = successes[g];
+    stratum.trials = trials[g];
+    strata.push_back(stratum);
+  }
+  return strata;
+}
+
+std::string poststratified_cell(const fi::CampaignResult& result,
+                                fi::Outcome outcome, f64 confidence) {
+  const auto strata = group_strata(result, outcome);
+  const f64 rate = stats::poststratified_rate(strata);
+  const auto ci = stats::poststratified_interval(strata, confidence);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%5.2f%% ±%.2f", rate * 100.0,
+                ci.half_width() * 100.0);
+  return buffer;
 }
 
 std::vector<std::string> profile_header() {

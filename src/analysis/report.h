@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/table.h"
 #include "fi/campaign.h"
 
@@ -24,6 +25,23 @@ std::vector<std::string> outcome_header();
 
 /// Formats "12.3% ±1.9" for an outcome of a campaign.
 std::string rate_cell(const fi::CampaignResult& result, fi::Outcome outcome);
+
+/// Per-instruction-group strata for one outcome of a campaign: each
+/// stratum's weight is the profile's dynamic-frequency share of that group
+/// (the stratified planner's sampling frame), successes/trials count the
+/// records whose struck site landed in the group. Records without a group
+/// (memory-mode strikes, quarantined entries) carry no stratum and are
+/// excluded — use the plain rate() for those modes. Feed the result to
+/// stats::poststratified_rate / poststratified_interval.
+std::vector<stats::StratumCount> group_strata(const fi::CampaignResult& result,
+                                              fi::Outcome outcome);
+
+/// Formats "12.3% ±1.9" from the post-stratified pooled estimator — the
+/// design-unbiased rate for a campaign whose allocation was Neyman-skewed
+/// away from the natural group frequencies (a naive pooled rate would be
+/// biased toward the oversampled strata).
+std::string poststratified_cell(const fi::CampaignResult& result,
+                                fi::Outcome outcome, f64 confidence = 0.95);
 
 /// Dynamic-instruction mix table row for a profile: per-group percentage of
 /// warp instructions.

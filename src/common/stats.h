@@ -1,5 +1,7 @@
 // Statistics used by fault-injection campaigns: running moments, binomial
-// confidence intervals, and the SASSIFI-style sample-size planner.
+// confidence intervals, the SASSIFI-style sample-size planner, and the
+// adaptive-campaign primitives (sequential stopping rule, stratified
+// allocation, post-stratified pooling).
 #pragma once
 
 #include <cstddef>
@@ -42,27 +44,94 @@ struct Interval {
   [[nodiscard]] f64 half_width() const { return (hi - lo) / 2.0; }
 };
 
-/// z-score for a two-sided confidence level (supported: 0.90, 0.95, 0.99).
+/// z-score for a two-sided confidence level. The canonical campaign levels
+/// (0.90, 0.95, 0.99) return the same four-decimal constants every journal
+/// and CSV has always used; any other confidence in (0, 1) is answered
+/// exactly via the inverse normal CDF (so 0.80 gives 1.2816 instead of
+/// silently being coerced to the 95% z-score). Confidence outside (0, 1) is
+/// rejected with a quiet NaN, which poisons any interval computed from it
+/// rather than answering a different question.
 f64 z_for_confidence(f64 confidence);
 
-/// Normal-approximation (Wald) CI for successes/trials.
+/// Normal-approximation (Wald) CI for successes/trials. `successes` is
+/// clamped to `trials` so an impossible count cannot produce a NaN interval.
 Interval wald_interval(std::size_t successes, std::size_t trials,
                        f64 confidence = 0.95);
 
 /// Wilson score CI — well-behaved at p near 0 or 1, which fault-injection
-/// rates routinely are (e.g. SDC rates below 1%).
+/// rates routinely are (e.g. SDC rates below 1%). `successes` is clamped to
+/// `trials`.
 Interval wilson_interval(std::size_t successes, std::size_t trials,
                          f64 confidence = 0.95);
+
+/// The planner never believes a proportion of exactly 0 or 1: p is clamped
+/// into [kPlannerEps, 1 - kPlannerEps] before entering the Leveugle formula
+/// (whose denominator divides by p(1-p)).
+inline constexpr f64 kPlannerEps = 1e-3;
 
 /// Sample-size planner from Leveugle et al. (DATE'09), the formula SASSIFI
 /// and NVBitFI cite to justify ~1000-2000 injections per campaign:
 ///   n = N / (1 + e^2 * (N - 1) / (z^2 * p * (1 - p)))
 /// `population` is the total number of fault sites, `margin` the desired CI
-/// half-width, and `p` the (worst-case 0.5) expected proportion.
+/// half-width, and `p` the (worst-case 0.5) expected proportion. Returns at
+/// least 1 for a non-empty population.
 std::size_t required_sample_size(u64 population, f64 margin,
                                  f64 confidence = 0.95, f64 p = 0.5);
 
-/// Percentile of a sample (linear interpolation); sorts a copy.
+/// Percentile of a sample (linear interpolation); sorts a copy. `pct` is
+/// clamped to [0, 100].
 f64 percentile(std::vector<f64> values, f64 pct);
+
+// ------------------------------------------------- adaptive campaigns ---
+
+/// Sequential early-stopping rule for an outcome rate: satisfied once the
+/// Wilson CI around successes/trials is no wider than `target_half_width`
+/// on each side. `min_samples` is a floor below which the rule never fires,
+/// so a lucky tiny-n interval (e.g. 0/50 -> already narrow) cannot trigger
+/// a spurious stop before the estimate has had a chance to move.
+struct StoppingRule {
+  f64 target_half_width = 0.0;  ///< <= 0 disables the rule
+  f64 confidence = 0.95;
+  std::size_t min_samples = 100;
+
+  [[nodiscard]] bool enabled() const { return target_half_width > 0.0; }
+  [[nodiscard]] bool satisfied(std::size_t successes,
+                               std::size_t trials) const;
+  bool operator==(const StoppingRule&) const = default;
+};
+
+/// Largest-remainder apportionment: splits `total` into one integer share
+/// per weight, shares summing exactly to `total`, proportional to the
+/// weights. Deterministic — remainder ties break toward the lowest index.
+/// Non-positive weights get a zero quota; if every weight is non-positive
+/// the total is spread round-robin from index 0.
+std::vector<u64> apportion(const std::vector<f64>& weights, u64 total);
+
+/// Neyman allocation weights W_h * s_h for minimizing the variance of a
+/// stratified proportion estimate: s_h = sqrt(p~(1-p~)) with the Laplace
+/// smoothed p~ = (successes+1)/(trials+2), so an unobserved or one-sided
+/// stratum keeps a non-zero spread (0.5 when nothing has been sampled yet)
+/// instead of starving forever. Feed the result to apportion().
+std::vector<f64> neyman_weights(const std::vector<f64>& stratum_weights,
+                                const std::vector<u64>& successes,
+                                const std::vector<u64>& trials);
+
+/// One stratum's contribution to a post-stratified pooled estimate.
+struct StratumCount {
+  f64 weight = 0.0;  ///< population share of the stratum (need not sum to 1)
+  u64 successes = 0;
+  u64 trials = 0;
+};
+
+/// Post-stratified proportion: sum over observed strata of W'_h * p_h, with
+/// the weights renormalized over the strata that have at least one trial.
+f64 poststratified_rate(const std::vector<StratumCount>& strata);
+
+/// Normal-approximation CI around poststratified_rate with stratum variance
+/// sum W'^2_h * p~_h(1-p~_h) / n_h (Laplace-smoothed p~ so a degenerate
+/// all-or-nothing stratum still contributes spread). Clamped into [0, 1];
+/// {0, 1} when no stratum has trials.
+Interval poststratified_interval(const std::vector<StratumCount>& strata,
+                                 f64 confidence = 0.95);
 
 }  // namespace gfi::stats

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <map>
 #include <memory>
+#include <thread>
 
 #include "common/bitutil.h"
 #include "common/failpoint.h"
@@ -12,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "fi/golden_cache.h"
 #include "fi/journal.h"
+#include "fi/planner.h"
 #include "obs/heartbeat.h"
 #include "obs/registry.h"
 #include "recover/retry.h"
@@ -31,22 +34,26 @@ u64 watchdog_for(const CampaignConfig& config, u64 golden_dyn_instrs) {
 }
 
 /// Samples the group to strike for instruction-targeted modes, weighted by
-/// dynamic frequency over the groups the mode can reach.
-Result<sim::InstrGroup> sample_group(const CampaignConfig& config,
-                                     const sim::Profile& profile, Rng& rng) {
-  if (config.group) {
-    if (!mode_targets_group(config.model.mode, *config.group)) {
+/// dynamic frequency over the groups the mode can reach. A pinned group —
+/// config.group, or a planner-assigned `stratum` — consumes no RNG draw, so
+/// every other field of the record stays a pure function of (seed, index).
+Result<sim::InstrGroup> sample_group(
+    const CampaignConfig& config, const sim::Profile& profile, Rng& rng,
+    const std::optional<sim::InstrGroup>& stratum) {
+  const std::optional<sim::InstrGroup>& pinned =
+      stratum ? stratum : config.group;
+  if (pinned) {
+    if (!mode_targets_group(config.model.mode, *pinned)) {
       return Status::invalid_argument(
           std::string("mode ") + to_string(config.model.mode) +
-          " cannot target group " + sim::group_name(*config.group));
+          " cannot target group " + sim::group_name(*pinned));
     }
-    if (profile.group_warp_count(*config.group) == 0) {
+    if (profile.group_warp_count(*pinned) == 0) {
       return Status::invalid_argument(
           std::string("workload '") + config.workload +
-          "' executes no instructions in group " +
-          sim::group_name(*config.group));
+          "' executes no instructions in group " + sim::group_name(*pinned));
     }
-    return *config.group;
+    return *pinned;
   }
   u64 total = 0;
   for (int g = 0; g < sim::kInstrGroupCount; ++g) {
@@ -74,14 +81,15 @@ Result<sim::InstrGroup> sample_group(const CampaignConfig& config,
 
 Result<FaultSite> sample_site(const CampaignConfig& config,
                               const sim::Profile& profile,
-                              u64 golden_dyn_instrs, Rng& rng) {
+                              u64 golden_dyn_instrs, Rng& rng,
+                              const std::optional<sim::InstrGroup>& stratum) {
   FaultSite site;
   site.model = config.model;
   switch (config.model.mode) {
     case InjectionMode::kIov:
     case InjectionMode::kPred:
     case InjectionMode::kIoa: {
-      auto group = sample_group(config, profile, rng);
+      auto group = sample_group(config, profile, rng, stratum);
       if (!group.is_ok()) return group.status();
       site.group = group.value();
       site.target_occurrence =
@@ -277,15 +285,13 @@ void credit_pruned(const sa::PruneMap& map, const sa::PruneEntry& entry,
 
 }  // namespace
 
-Result<InjectionRecord> Campaign::run_single(const CampaignConfig& config,
-                                             const sim::Profile& profile,
-                                             u64 golden_dyn_instrs,
-                                             std::size_t run_index,
-                                             const sa::PruneMap* prune_map,
-                                             bool* pruned_out,
-                                             obs::Registry* metrics) {
+Result<InjectionRecord> Campaign::run_single(
+    const CampaignConfig& config, const sim::Profile& profile,
+    u64 golden_dyn_instrs, std::size_t run_index,
+    const sa::PruneMap* prune_map, bool* pruned_out, obs::Registry* metrics,
+    std::optional<sim::InstrGroup> stratum) {
   Rng rng = Rng::for_stream(config.seed, run_index);
-  auto site = sample_site(config, profile, golden_dyn_instrs, rng);
+  auto site = sample_site(config, profile, golden_dyn_instrs, rng, stratum);
   if (!site.is_ok()) return site.status();
 
   // Quarantined injections get their site sampled (the RNG stream and thus
@@ -514,7 +520,12 @@ Result<sa::PruneMap> Campaign::build_prune_map(const CampaignConfig& config) {
   return map;
 }
 
-Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
+Result<CampaignResult> Campaign::run(const CampaignConfig& config_in) {
+  // Local normalized copy: the quarantine set is sorted once here so the
+  // binary-search lookup inside the hot loop is valid, and everything below
+  // (journal headers included) sees the same view.
+  CampaignConfig config = config_in;
+  config.normalize_quarantine();
   if (config.num_injections == 0) {
     return Status::invalid_argument("num_injections must be > 0");
   }
@@ -526,6 +537,14 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
         "shard_index " + std::to_string(config.shard_index) +
         " out of range for shard_count " +
         std::to_string(config.shard_count));
+  }
+  if (config.planner.active() && config.shard_count > 1 &&
+      !config.planner.plan_path) {
+    return Status::invalid_argument(
+        "adaptive planner: a sharded campaign cannot make planner decisions "
+        "locally (no shard sees the full record prefix a decision needs) — "
+        "run it under `gpufi run`, which publishes a plan file the workers "
+        "follow");
   }
   obs::Registry& reg = config.metrics ? *config.metrics
                                       : obs::Registry::global();
@@ -554,8 +573,12 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
   }
   result.records.resize(result.run_indices.size());
 
-  // Journal: restore completed injections, then append the rest.
+  // Journal: restore completed injections, then append the rest. Planner
+  // decisions journaled by the interrupted run are restored alongside them —
+  // resume must replay the identical schedule, not recompute a fresh one.
   std::vector<u8> done(result.run_indices.size(), 0);
+  std::map<u64, PlanEvent> journaled_allocs;  // checkpoint -> allocation
+  std::optional<u64> journaled_stop;
   std::unique_ptr<JournalWriter> writer;
   if (config.journal_path) {
     const std::string& path = *config.journal_path;
@@ -587,6 +610,13 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
         done[slot] = 1;
         result.records[slot] = record;
         ++result.resumed;
+      }
+      for (const PlanEvent& event : loaded.value().plan) {
+        if (event.kind == PlanEvent::Kind::kAlloc) {
+          journaled_allocs[event.checkpoint] = event;
+        } else {
+          journaled_stop = event.stop_at;
+        }
       }
       auto opened = JournalWriter::open_append(path,
                                                loaded.value().valid_bytes);
@@ -649,6 +679,7 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
     initial.shard_index = config.shard_index;
     initial.shard_count = config.shard_count;
     initial.total = result.run_indices.size();
+    initial.stop_half_width = config.planner.stop.target_half_width;
     initial.outcome_counts.assign(kOutcomeCount, 0);
     initial.done = result.resumed;
     for (std::size_t slot = 0; slot < result.run_indices.size(); ++slot) {
@@ -671,7 +702,11 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
   std::vector<Status> errors(result.run_indices.size());
   std::vector<u8> pruned_flags(result.run_indices.size(), 0);
   ThreadPool pool(config.threads);
-  pool.parallel_for(result.run_indices.size(), [&](std::size_t slot) {
+
+  // One injection slot: sample, simulate (or credit), journal, measure.
+  // `stratum` pins the instruction group under a stratified allocation.
+  auto run_slot = [&](std::size_t slot,
+                      std::optional<sim::InstrGroup> stratum) {
     if (done[slot]) return;
     // Generic chaos site: "worker dies at the n-th injection it attempts"
     // (or at a specific global index via key=). The kill is executed inside
@@ -685,7 +720,7 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
                              result.golden_dyn_instrs,
                              result.run_indices[slot],
                              prune_map ? &*prune_map : nullptr, &pruned,
-                             &reg);
+                             &reg, stratum);
     latency.observe(
         std::chrono::duration_cast<std::chrono::duration<f64, std::milli>>(
             std::chrono::steady_clock::now() - started)
@@ -710,7 +745,205 @@ Result<CampaignResult> Campaign::run(const CampaignConfig& config) {
     } else {
       errors[slot] = record.status();
     }
-  });
+  };
+
+  if (!config.planner.active()) {
+    // Classic fixed budget: one flat fan-out over the whole slice. This
+    // path is byte-identical to pre-planner builds.
+    pool.parallel_for(result.run_indices.size(), [&](std::size_t slot) {
+      run_slot(slot, std::nullopt);
+    });
+    result.effective_injections = config.num_injections;
+  } else {
+    auto planner_or = Planner::create(config, result.profile);
+    if (!planner_or.is_ok()) return planner_or.status();
+    Planner planner = std::move(planner_or).take();
+    const u64 k = planner.checkpoint_every();
+    const bool follow = config.planner.plan_path.has_value();
+    // decide: unsharded (validated above) — this process holds the full
+    // record prefix and makes every decision itself. follow: a `gpufi run`
+    // worker replaying the supervisor's published plan.
+    const bool decide = !follow;
+
+    u64 effective = config.num_injections;
+    std::optional<u64> stop_at;
+    if (follow && journaled_stop) {
+      // Resuming a worker journal that already recorded the supervisor's
+      // stop decision: the boundary is authoritative.
+      stop_at = journaled_stop;
+      effective = std::min<u64>(effective, *journaled_stop);
+    }
+
+    // Polls the plan file until the supervisor publishes what block `c`
+    // needs: its allocation, or a stop at/before its start.
+    auto wait_for_plan = [&](u64 c, u64 b0) -> Result<PlanEvent> {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(config.planner.plan_wait_ms);
+      while (true) {
+        auto plan_now = load_plan_file(*config.planner.plan_path, config);
+        if (plan_now.is_ok()) {
+          if (plan_now.value().stop_at && *plan_now.value().stop_at <= b0) {
+            PlanEvent stop;
+            stop.kind = PlanEvent::Kind::kStop;
+            stop.stop_at = *plan_now.value().stop_at;
+            return stop;
+          }
+          auto it = plan_now.value().allocs.find(c);
+          if (it != plan_now.value().allocs.end()) return it->second;
+        } else if (plan_now.status().code() != StatusCode::kNotFound) {
+          return plan_now.status();
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+          return Status::internal(
+              "timed out after " +
+              std::to_string(config.planner.plan_wait_ms) +
+              " ms waiting for the supervisor to publish the allocation "
+              "for checkpoint " + std::to_string(c) + " in " +
+              *config.planner.plan_path);
+        }
+        // Keep the heartbeat fresh while parked, so the supervisor's stall
+        // detector does not mistake waiting for a hang.
+        if (heartbeat) heartbeat->idle_beat();
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    };
+
+    std::vector<PlanEvent> allocs_used;
+    for (u64 c = 0; c * k < effective; ++c) {
+      const u64 b0 = c * k;
+      const u64 b1 =
+          std::min<u64>(b0 + k, static_cast<u64>(config.num_injections));
+
+      // Resolve this block's allocation (stratified campaigns only).
+      std::optional<PlanEvent> alloc;
+      const auto journaled = journaled_allocs.find(c);
+      if (config.planner.stratify) {
+        if (decide) {
+          PlanEvent computed = planner.make_alloc(c);
+          if (journaled != journaled_allocs.end() &&
+              !(journaled->second == computed)) {
+            return Status::failed_precondition(
+                "journaled allocation for checkpoint " + std::to_string(c) +
+                " is not reproduced by this run — the journal was written "
+                "under a different plan");
+          }
+          alloc = computed;
+        } else if (journaled != journaled_allocs.end()) {
+          alloc = journaled->second;
+        } else {
+          auto waited = wait_for_plan(c, b0);
+          if (!waited.is_ok()) return waited.status();
+          if (waited.value().kind == PlanEvent::Kind::kStop) {
+            stop_at = waited.value().stop_at;
+            effective = std::min<u64>(effective, *stop_at);
+            break;
+          }
+          alloc = waited.value();
+        }
+      }
+
+      // This shard's slots inside the block.
+      std::vector<std::size_t> block_slots;
+      const u64 delta = (config.shard_index + config.shard_count -
+                         b0 % config.shard_count) % config.shard_count;
+      for (u64 i = b0 + delta; i < b1; i += config.shard_count) {
+        block_slots.push_back(static_cast<std::size_t>(
+            (i - config.shard_index) / config.shard_count));
+      }
+
+      // Journal the allocation before its block's records (not on resume if
+      // already present, and not when the shard owns none of the block).
+      if (alloc && writer && !block_slots.empty() &&
+          journaled == journaled_allocs.end()) {
+        Status appended = writer->append_plan(*alloc);
+        if (!appended.is_ok()) return appended;
+      }
+      if (alloc) allocs_used.push_back(*alloc);
+
+      pool.parallel_for(block_slots.size(), [&](std::size_t b) {
+        const std::size_t slot = block_slots[b];
+        run_slot(slot,
+                 alloc ? Planner::group_for(*alloc,
+                                            result.run_indices[slot] - b0)
+                       : std::nullopt);
+      });
+      for (const std::size_t slot : block_slots) {
+        if (!errors[slot].is_ok()) return errors[slot];
+      }
+
+      if (decide) {
+        // Feed the planner the completed prefix in global index order
+        // (unsharded, so block_slots IS [b0, b1) in order).
+        for (const std::size_t slot : block_slots) {
+          planner.observe(result.records[slot]);
+        }
+        if (config.planner.stopping() && b1 < config.num_injections) {
+          if (planner.stop_satisfied()) {
+            if (journaled_stop && *journaled_stop != b1) {
+              return Status::failed_precondition(
+                  "journaled stop at " + std::to_string(*journaled_stop) +
+                  " is not reproduced by this run (the stopping rule fired "
+                  "at " + std::to_string(b1) + ")");
+            }
+            if (writer && !journaled_stop) {
+              PlanEvent stop;
+              stop.kind = PlanEvent::Kind::kStop;
+              stop.stop_at = b1;
+              Status appended = writer->append_plan(stop);
+              if (!appended.is_ok()) return appended;
+            }
+            stop_at = b1;
+            effective = b1;
+            break;
+          }
+          if (journaled_stop && *journaled_stop == b1) {
+            return Status::failed_precondition(
+                "journaled stop at " + std::to_string(b1) +
+                " is not reproduced by this run (the stopping rule did not "
+                "fire there)");
+          }
+        }
+      } else {
+        // Opportunistic stop check: stop-only workers never block on the
+        // plan file, so they may overshoot the boundary by however many
+        // blocks they complete before noticing — the merge drops the
+        // overshoot deterministically.
+        auto plan_now = load_plan_file(*config.planner.plan_path, config);
+        if (plan_now.is_ok() && plan_now.value().stop_at) {
+          stop_at = plan_now.value().stop_at;
+          effective = std::min<u64>(effective, *stop_at);
+        }
+      }
+    }
+
+    // Truncate to the effective boundary: blocks beyond it never ran, but a
+    // resumed journal may have restored records past a stop published after
+    // this shard had raced ahead.
+    std::size_t keep = result.run_indices.size();
+    while (keep > 0 && result.run_indices[keep - 1] >= effective) --keep;
+    for (std::size_t s = keep; s < result.run_indices.size(); ++s) {
+      if (done[s]) --result.resumed;
+    }
+    result.run_indices.resize(keep);
+    result.records.resize(keep);
+    pruned_flags.resize(keep);
+
+    result.effective_injections = effective;
+    result.plan = std::move(allocs_used);
+    if (stop_at) {
+      PlanEvent stop;
+      stop.kind = PlanEvent::Kind::kStop;
+      stop.stop_at = *stop_at;
+      result.plan.push_back(stop);
+    }
+    reg.gauge("campaign.planner.effective_injections")
+        .set(static_cast<f64>(effective));
+    if (stop_at) {
+      reg.gauge("campaign.planner.stopped_at").set(static_cast<f64>(*stop_at));
+    }
+  }
+
   for (const Status& status : errors) {
     if (!status.is_ok()) return status;
   }

@@ -63,6 +63,59 @@ const char* to_string(Outcome outcome);
 /// everything else a trap can report is a DUE.
 Outcome outcome_for_trap(sim::TrapKind kind);
 
+/// Adaptive-campaign planner knobs (fi/planner.h). Off by default: a
+/// campaign with an inactive planner runs the classic fixed budget and
+/// writes byte-identical journals to pre-planner builds.
+struct PlannerConfig {
+  /// Sequential early stopping: once every tracked outcome rate (Masked,
+  /// SDC, DUE — planner_tracked_outcomes()) has a Wilson CI no wider than
+  /// this on each side, the campaign halts at the checkpoint boundary.
+  /// target_half_width <= 0 disables stopping.
+  stats::StoppingRule stop;
+  /// Checkpoint period K: planner decisions (stop / reallocate) happen only
+  /// after a multiple of K global injections has completed, so the decision
+  /// is a pure function of a deterministic record prefix.
+  u64 checkpoint_every = 100;
+  /// Stratified allocation: split each checkpoint block across instruction
+  /// groups (dynamic-frequency strata from the profile), reallocating
+  /// Neyman-style from the observed per-group spread at every checkpoint.
+  bool stratify = false;
+  /// Follow an externally computed plan (`gpufi run` workers): the worker
+  /// polls this file for the supervisor's alloc/stop events instead of
+  /// deciding anything itself — sharded workers never see the full global
+  /// prefix a decision needs.
+  std::optional<std::string> plan_path;
+  /// How long a plan-following worker waits for the supervisor to publish
+  /// the next checkpoint's allocation before giving up (the supervisor then
+  /// relaunches it with backoff).
+  u64 plan_wait_ms = 120000;
+
+  [[nodiscard]] bool stopping() const { return stop.enabled(); }
+  [[nodiscard]] bool active() const { return stopping() || stratify; }
+  bool operator==(const PlannerConfig&) const = default;
+};
+
+/// One journaled planner decision. Decisions are replayable log entries
+/// exactly like injection records: resume, sharding, and merge reproduce the
+/// identical schedule from them.
+struct PlanEvent {
+  enum class Kind : u8 {
+    kAlloc,  ///< per-group injection allocation for one checkpoint block
+    kStop,   ///< sequential stopping rule fired at a checkpoint boundary
+  };
+  Kind kind = Kind::kStop;
+  /// kAlloc: block ordinal c — the block covers global indices
+  /// [c*K, min((c+1)*K, num_injections)).
+  u64 checkpoint = 0;
+  /// kStop: the boundary B; only indices < B belong to the campaign.
+  u64 stop_at = 0;
+  /// kAlloc: injections assigned to each instruction group (enum order);
+  /// zero for groups the fault mode cannot target.
+  std::array<u64, sim::kInstrGroupCount> alloc{};
+
+  bool operator==(const PlanEvent&) const = default;
+};
+
 struct CampaignConfig {
   std::string workload;            ///< registry name
   sim::MachineConfig machine;      ///< arch preset (a100() / h100() / toy())
@@ -113,10 +166,21 @@ struct CampaignConfig {
   /// untouched — but nothing is simulated, so a poison injection that
   /// crashes the process cannot fire again). Kept out of the journal
   /// header so a quarantined resume stays compatible with earlier journals.
+  /// Must be sorted (normalize_quarantine()): is_quarantined runs once per
+  /// injection inside the hot parallel_for, where the old linear scan cost
+  /// O(|quarantine|) per record.
   std::vector<u64> quarantine;
   [[nodiscard]] bool is_quarantined(u64 run_index) const {
-    return std::find(quarantine.begin(), quarantine.end(), run_index) !=
-           quarantine.end();
+    return std::binary_search(quarantine.begin(), quarantine.end(),
+                              run_index);
+  }
+  /// Sorts + dedups `quarantine` into the form is_quarantined requires.
+  /// Campaign::run applies this to its own copy, so callers may pass the
+  /// set in any order.
+  void normalize_quarantine() {
+    std::sort(quarantine.begin(), quarantine.end());
+    quarantine.erase(std::unique(quarantine.begin(), quarantine.end()),
+                     quarantine.end());
   }
 
   /// >0 enables trap-and-retry: a run ending in a detected error (DUE or
@@ -148,6 +212,10 @@ struct CampaignConfig {
   /// bits of a partially-dead footprint (sa/bitlive.h). Same bit-identity
   /// guarantee; other flip models at partial sites are still simulated.
   bool prune_dead_bits = false;
+
+  // --- adaptive planner (fi/planner.h) -----------------------------------
+  /// Sequential stopping + stratified allocation. Inactive by default.
+  PlannerConfig planner;
 };
 
 struct InjectionRecord {
@@ -178,6 +246,13 @@ struct CampaignResult {
   /// How many of `records` were credited analytically by dead-site pruning
   /// instead of simulated (prune_dead_sites only).
   u64 pruned = 0;
+  /// Global injections the campaign actually covers: num_injections, or the
+  /// stop boundary when the sequential stopping rule fired early. records /
+  /// run_indices only contain indices below this.
+  u64 effective_injections = 0;
+  /// Planner decisions in effect for this run (journaled ones included),
+  /// allocs in checkpoint order followed by the stop event if any.
+  std::vector<PlanEvent> plan;
   std::array<u64, kOutcomeCount> outcome_counts{};
 
   [[nodiscard]] u64 count(Outcome outcome) const {
@@ -201,14 +276,16 @@ class Campaign {
   /// without simulating (and `*pruned_out` is set when provided) — the
   /// record is field-identical to what the simulation would produce.
   /// `metrics`, when given, receives execution-path selection counters; it
-  /// never influences the record produced.
-  static Result<InjectionRecord> run_single(const CampaignConfig& config,
-                                            const sim::Profile& profile,
-                                            u64 golden_dyn_instrs,
-                                            std::size_t run_index,
-                                            const sa::PruneMap* prune_map = nullptr,
-                                            bool* pruned_out = nullptr,
-                                            obs::Registry* metrics = nullptr);
+  /// never influences the record produced. `stratum`, when given, pins the
+  /// sampled instruction group (stratified campaigns assign each index its
+  /// group from the journaled allocation; the pinned path consumes no group
+  /// RNG draw, so the record stays a pure function of (seed, index, plan)).
+  static Result<InjectionRecord> run_single(
+      const CampaignConfig& config, const sim::Profile& profile,
+      u64 golden_dyn_instrs, std::size_t run_index,
+      const sa::PruneMap* prune_map = nullptr, bool* pruned_out = nullptr,
+      obs::Registry* metrics = nullptr,
+      std::optional<sim::InstrGroup> stratum = std::nullopt);
 
   /// Builds the dynamic prune map for `config`'s workload: one fault-free
   /// instrumented launch recording every prunable (group, occurrence) site,

@@ -8,10 +8,12 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "common/failpoint.h"
 #include "common/jsonl.h"
+#include "fi/planner.h"
 
 namespace gfi::fi {
 namespace {
@@ -98,6 +100,24 @@ Status bad_header(const std::string& why) {
   return Status::invalid_argument("journal header: " + why);
 }
 
+/// Canonical planner identity for headers: all-zero when inactive, and the
+/// follow-mode plumbing (plan_path, plan_wait_ms) stripped — where the plan
+/// came from never changes what the plan is.
+PlannerConfig normalized_planner(const PlannerConfig& pc) {
+  PlannerConfig out;
+  out.stop.target_half_width = 0.0;
+  out.stop.confidence = 0.0;
+  out.stop.min_samples = 0;
+  out.checkpoint_every = 0;
+  out.stratify = false;
+  out.plan_wait_ms = 0;
+  if (!pc.active()) return out;
+  if (pc.stopping()) out.stop = pc.stop;
+  out.checkpoint_every = pc.checkpoint_every;
+  out.stratify = pc.stratify;
+  return out;
+}
+
 }  // namespace
 
 JournalHeader make_journal_header(const CampaignConfig& config,
@@ -117,6 +137,7 @@ JournalHeader make_journal_header(const CampaignConfig& config,
   header.shard_count = config.shard_count;
   header.golden_dyn_instrs = golden.dyn_instrs;
   header.golden_cycles = golden.cycles;
+  header.planner = normalized_planner(config.planner);
   header.profile = golden.profile;
   return header;
 }
@@ -171,6 +192,13 @@ Status check_journal_compatible(const JournalHeader& header,
                     std::to_string(want.shard_index) + "/" +
                         std::to_string(want.shard_count));
   }
+  if (header.planner != want.planner) {
+    return Status::failed_precondition(
+        "journal was written by a different campaign: its planner "
+        "configuration (stop half-width / confidence / min samples, "
+        "checkpoint period, stratification) differs — a journal cannot "
+        "resume under a different adaptive schedule");
+  }
   if (header.golden_dyn_instrs != want.golden_dyn_instrs ||
       header.golden_cycles != want.golden_cycles) {
     return Status::failed_precondition(
@@ -195,6 +223,15 @@ std::string Journal::header_line(const JournalHeader& header) {
   append_u64(out, "num_injections", header.num_injections);
   append_u64(out, "shard_index", header.shard_index);
   append_u64(out, "shard_count", header.shard_count);
+  // Planner identity fields only appear when the planner is active, so
+  // planner-off journals stay byte-identical to pre-planner builds.
+  if (header.planner.active()) {
+    append_f64(out, "stop_hw", header.planner.stop.target_half_width);
+    append_f64(out, "stop_conf", header.planner.stop.confidence);
+    append_u64(out, "stop_min", header.planner.stop.min_samples);
+    append_u64(out, "ckpt", header.planner.checkpoint_every);
+    append_u64(out, "stratify", header.planner.stratify ? 1 : 0);
+  }
   append_u64(out, "golden_dyn", header.golden_dyn_instrs);
   append_u64(out, "golden_cycles", header.golden_cycles);
   append_u64(out, "profile_warp_total", header.profile.total_warp_instrs);
@@ -256,6 +293,16 @@ Result<JournalHeader> Journal::parse_header(const std::string& line) {
   header.num_injections = *num;
   header.shard_index = static_cast<u32>(*shard_index);
   header.shard_count = static_cast<u32>(*shard_count);
+  // Planner fields are absent in pre-planner journals and planner-off
+  // campaigns; every field is set explicitly so the normalized all-zero
+  // form round-trips (PlannerConfig's defaults are the ACTIVE defaults).
+  header.planner.stop.target_half_width =
+      get_f64(fields, "stop_hw").value_or(0.0);
+  header.planner.stop.confidence = get_f64(fields, "stop_conf").value_or(0.0);
+  header.planner.stop.min_samples = get_u64(fields, "stop_min").value_or(0);
+  header.planner.checkpoint_every = get_u64(fields, "ckpt").value_or(0);
+  header.planner.stratify = get_u64(fields, "stratify").value_or(0) != 0;
+  header.planner.plan_wait_ms = 0;
   header.golden_dyn_instrs = *golden_dyn;
   header.golden_cycles = *golden_cycles;
   header.profile.total_warp_instrs = *warp_total;
@@ -394,6 +441,18 @@ Result<JournalContents> Journal::load(const std::string& path) {
         if (!header.is_ok()) return header.status();
         contents.header = std::move(header).take();
         have_header = true;
+      } else if (is_plan_line(line)) {
+        auto event = parse_plan_event(line);
+        if (!event.is_ok()) {
+          // Same torn-tail tolerance as records below.
+          if (data.find('\n', newline + 1) == std::string::npos &&
+              newline + 1 >= data.size()) {
+            break;
+          }
+          return Status::internal("journal " + path + " is corrupt: " +
+                                  event.status().message());
+        }
+        contents.plan.push_back(event.value());
       } else {
         auto record = parse_record(line);
         if (!record.is_ok()) {
@@ -462,7 +521,15 @@ Result<std::unique_ptr<JournalWriter>> JournalWriter::open_append(
 }
 
 Status JournalWriter::append(u64 index, const InjectionRecord& record) {
-  const std::string line = Journal::record_line(index, record) + "\n";
+  return append_line(Journal::record_line(index, record));
+}
+
+Status JournalWriter::append_plan(const PlanEvent& event) {
+  return append_line(plan_event_line(event));
+}
+
+Status JournalWriter::append_line(const std::string& payload) {
+  const std::string line = payload + "\n";
   std::lock_guard<std::mutex> lock(mutex_);
   if (fp::enabled()) {
     const fp::Hit f = fp::hit("journal.append");
@@ -512,49 +579,86 @@ Result<MergedCampaign> merge_journals(const std::vector<std::string>& paths,
   if (paths.empty()) {
     return Status::invalid_argument("merge_journals: no journals given");
   }
-  MergedCampaign merged;
-  std::vector<bool> covered;
-  // shard index -> path of the journal claiming it (duplicate detection).
-  std::vector<std::string> shard_owner;
-  std::vector<std::string> incomplete_shards;
+  // Pass 1: load every journal, validate campaign identity, and settle the
+  // planner decisions. The stop boundary must be known before coverage is
+  // judged — an early stop shrinks the index space every slice is measured
+  // against.
+  std::vector<JournalContents> journals;
+  journals.reserve(paths.size());
+  std::map<u64, PlanEvent> allocs;  // checkpoint -> allocation
+  std::optional<u64> stop_at;
   for (std::size_t p = 0; p < paths.size(); ++p) {
     auto loaded = Journal::load(paths[p]);
     if (!loaded.is_ok()) return loaded.status();
-    const JournalContents& contents = loaded.value();
+    JournalContents contents = std::move(loaded).take();
     if (contents.header.shard_count == 0) {
       return Status::internal("journal " + paths[p] +
                               " has shard_count 0");
     }
-    if (p == 0) {
-      merged.header = contents.header;
-      merged.header.shard_index = 0;
-      merged.header.shard_count = 1;
-      merged.records.resize(merged.header.num_injections);
-      covered.assign(merged.header.num_injections, false);
-      shard_owner.assign(contents.header.shard_count, std::string());
-    } else {
+    if (p > 0) {
       const JournalHeader& h = contents.header;
-      const JournalHeader& m = merged.header;
+      const JournalHeader& m = journals[0].header;
       if (h.workload != m.workload || h.arch != m.arch || h.mode != m.mode ||
           h.flip != m.flip || h.persist != m.persist ||
           h.max_retries != m.max_retries || h.group != m.group ||
           h.fixed_bit != m.fixed_bit || h.seed != m.seed ||
           h.num_injections != m.num_injections ||
-          h.golden_dyn_instrs != m.golden_dyn_instrs) {
+          h.golden_dyn_instrs != m.golden_dyn_instrs ||
+          h.planner != m.planner) {
         return Status::failed_precondition(
             "journal " + paths[p] +
             " belongs to a different campaign than " + paths[0]);
       }
-      if (contents.header.shard_count != shard_owner.size()) {
+      if (h.shard_count != m.shard_count) {
         return Status::failed_precondition(
             "journal " + paths[p] + " is shard " +
-            std::to_string(contents.header.shard_index) + "/" +
-            std::to_string(contents.header.shard_count) + " but " + paths[0] +
+            std::to_string(h.shard_index) + "/" +
+            std::to_string(h.shard_count) + " but " + paths[0] +
             " was written with shard_count " +
-            std::to_string(shard_owner.size()) +
+            std::to_string(m.shard_count) +
             " — these journals do not partition the same campaign");
       }
     }
+    for (const PlanEvent& event : contents.plan) {
+      if (event.kind == PlanEvent::Kind::kAlloc) {
+        auto [it, inserted] = allocs.emplace(event.checkpoint, event);
+        if (!inserted && !(it->second == event)) {
+          return Status::failed_precondition(
+              "journals disagree on the planner allocation at checkpoint " +
+              std::to_string(event.checkpoint) +
+              " — they did not follow the same plan");
+        }
+      } else {
+        if (stop_at && *stop_at != event.stop_at) {
+          return Status::failed_precondition(
+              "journals disagree on the planner stop boundary (" +
+              std::to_string(*stop_at) + " vs " +
+              std::to_string(event.stop_at) +
+              ") — they did not follow the same plan");
+        }
+        stop_at = event.stop_at;
+      }
+    }
+    journals.push_back(std::move(contents));
+  }
+
+  MergedCampaign merged;
+  merged.header = journals[0].header;
+  merged.header.shard_index = 0;
+  merged.header.shard_count = 1;
+  const u64 num = merged.header.num_injections;
+  merged.effective_injections = std::min<u64>(num, stop_at.value_or(num));
+  const u64 effective = merged.effective_injections;
+  merged.records.resize(effective);
+  std::vector<bool> covered(effective, false);
+  // shard index -> path of the journal claiming it (duplicate detection).
+  std::vector<std::string> shard_owner(journals[0].header.shard_count);
+  std::vector<std::string> incomplete_shards;
+
+  // Pass 2: place every record, judging coverage against the effective
+  // (possibly stopped-short) index space.
+  for (std::size_t p = 0; p < journals.size(); ++p) {
+    const JournalContents& contents = journals[p];
     // Shard-set bookkeeping: each shard index may appear exactly once.
     const u32 shard = contents.header.shard_index;
     if (shard < shard_owner.size()) {
@@ -566,30 +670,38 @@ Result<MergedCampaign> merge_journals(const std::vector<std::string>& paths,
       }
       shard_owner[shard] = paths[p];
     }
-    // This shard's expected slice size (strided partition of the index
-    // space) — fewer journaled records means the shard is unfinished.
+    // This shard's expected slice size (strided partition of the effective
+    // index space) — fewer journaled records means the shard is unfinished.
     u64 expected = 0;
-    for (u64 i = shard; i < merged.header.num_injections;
-         i += shard_owner.size()) {
+    for (u64 i = shard; i < effective; i += shard_owner.size()) {
       ++expected;
     }
-    if (contents.records.size() < expected) {
-      incomplete_shards.push_back(
-          "shard " + std::to_string(shard) + " (" + paths[p] + "): " +
-          std::to_string(contents.records.size()) + " of " +
-          std::to_string(expected) + " records");
-    }
+    u64 in_range = 0;
     for (const auto& [index, record] : contents.records) {
-      if (index >= merged.header.num_injections) {
+      if (index >= num) {
         return Status::internal("journal " + paths[p] + " has record index " +
                                 std::to_string(index) + " out of range");
       }
+      if (index >= effective) {
+        // A worker raced ahead of the stop decision; its extra records are
+        // dropped deterministically so the merge matches an uninterrupted
+        // run that stopped at the boundary.
+        ++merged.overshoot;
+        continue;
+      }
+      ++in_range;
       if (covered[index]) {
         return Status::internal("journals overlap at record index " +
                                 std::to_string(index));
       }
       covered[index] = true;
       merged.records[index] = record;
+    }
+    if (in_range < expected) {
+      incomplete_shards.push_back(
+          "shard " + std::to_string(shard) + " (" + paths[p] + "): " +
+          std::to_string(in_range) + " of " + std::to_string(expected) +
+          " records");
     }
   }
   if (!options.allow_partial) {
@@ -634,6 +746,21 @@ Result<MergedCampaign> merge_journals(const std::vector<std::string>& paths,
   for (const InjectionRecord& record : merged.records) {
     ++merged.outcome_counts[static_cast<int>(record.outcome)];
   }
+  // Rebuilt plan: allocations in checkpoint order (dropping any whose whole
+  // block lies beyond the stop — a live campaign never journals those), then
+  // the stop event. This is exactly what an uninterrupted unsharded run
+  // journals, which is what makes merged output byte-stable.
+  const u64 ckpt = merged.header.planner.checkpoint_every;
+  for (const auto& [c, event] : allocs) {
+    if (ckpt > 0 && c * ckpt >= effective) continue;
+    merged.plan.push_back(event);
+  }
+  if (stop_at) {
+    PlanEvent stop;
+    stop.kind = PlanEvent::Kind::kStop;
+    stop.stop_at = *stop_at;
+    merged.plan.push_back(stop);
+  }
   return merged;
 }
 
@@ -647,10 +774,37 @@ Status write_merged_journal(const std::string& path,
                               std::strerror(errno));
     }
     out << Journal::header_line(merged.header) << '\n';
+    // Interleave plan lines exactly the way a live campaign journals them —
+    // an allocation line precedes its block's records, the stop line comes
+    // last — so a complete merge of an adaptive campaign is byte-identical
+    // to the unsharded journal.
+    std::map<u64, const PlanEvent*> pending_allocs;
+    const PlanEvent* stop = nullptr;
+    for (const PlanEvent& event : merged.plan) {
+      if (event.kind == PlanEvent::Kind::kAlloc) {
+        pending_allocs[event.checkpoint] = &event;
+      } else {
+        stop = &event;
+      }
+    }
+    const u64 ckpt = merged.header.planner.checkpoint_every;
     for (std::size_t k = 0; k < merged.records.size(); ++k) {
+      if (ckpt > 0) {
+        while (!pending_allocs.empty() &&
+               pending_allocs.begin()->first * ckpt <= merged.indices[k]) {
+          out << plan_event_line(*pending_allocs.begin()->second) << '\n';
+          pending_allocs.erase(pending_allocs.begin());
+        }
+      }
       out << Journal::record_line(merged.indices[k], merged.records[k])
           << '\n';
     }
+    // A partial merge can leave allocations whose records are all missing;
+    // they still belong in the file, before the stop line.
+    for (const auto& [c, event] : pending_allocs) {
+      out << plan_event_line(*event) << '\n';
+    }
+    if (stop != nullptr) out << plan_event_line(*stop) << '\n';
     out.flush();
     if (!out) {
       std::error_code ec;

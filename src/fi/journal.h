@@ -47,6 +47,11 @@ struct JournalHeader {
   u32 shard_count = 1;
   u64 golden_dyn_instrs = 0;
   u64 golden_cycles = 0;
+  /// Adaptive-planner identity, normalized (all-zero when inactive, so
+  /// pre-planner journals and planner-off campaigns compare equal). A
+  /// journal written under one stopping rule or stratification scheme can
+  /// never silently resume under another.
+  PlannerConfig planner;
   sim::Profile profile;  ///< golden dynamic-instruction profile
 };
 
@@ -65,6 +70,9 @@ Status check_journal_compatible(const JournalHeader& header,
 struct JournalContents {
   JournalHeader header;
   std::vector<std::pair<u64, InjectionRecord>> records;  ///< (global index, record)
+  /// Planner decisions journaled alongside the records (file order:
+  /// allocations before their block's records, a stop event last).
+  std::vector<PlanEvent> plan;
   u64 valid_bytes = 0;
 };
 
@@ -101,9 +109,14 @@ class JournalWriter {
   JournalWriter& operator=(const JournalWriter&) = delete;
 
   Status append(u64 index, const InjectionRecord& record);
+  /// Appends one planner decision line (fi/planner.h line format), under
+  /// the same flush + failpoint discipline as records.
+  Status append_plan(const PlanEvent& event);
 
  private:
   explicit JournalWriter(std::FILE* file) : file_(file) {}
+
+  Status append_line(const std::string& line);
 
   std::FILE* file_ = nullptr;
   std::mutex mutex_;
@@ -120,6 +133,15 @@ struct MergedCampaign {
   std::vector<u64> indices;
   /// Injections not covered by any journal (nonzero only with allow_partial).
   u64 missing = 0;
+  /// Planner decisions, deduplicated across shards and verified equal:
+  /// allocations in checkpoint order, then the stop event if any.
+  std::vector<PlanEvent> plan;
+  /// Global injections the campaign covers: header.num_injections, or the
+  /// journaled stop boundary when the planner halted it early.
+  u64 effective_injections = 0;
+  /// Records beyond the stop boundary (a worker racing ahead of the
+  /// supervisor's stop decision); dropped deterministically from the merge.
+  u64 overshoot = 0;
   std::array<u64, kOutcomeCount> outcome_counts{};
 
   [[nodiscard]] u64 count(Outcome outcome) const {

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -22,7 +23,9 @@
 #include "common/failpoint.h"
 #include "common/jsonl.h"
 #include "common/logging.h"
+#include "fi/golden_cache.h"
 #include "fi/lease.h"
+#include "fi/planner.h"
 #include "obs/heartbeat.h"
 
 namespace gfi::fi {
@@ -33,6 +36,10 @@ std::string Supervisor::shard_journal_path(const std::string& dir, u32 shard) {
 
 std::string Supervisor::state_path(const std::string& dir) {
   return dir + "/supervisor.jsonl";
+}
+
+std::string Supervisor::plan_path(const std::string& dir) {
+  return dir + "/plan.jsonl";
 }
 
 #ifdef _WIN32
@@ -224,6 +231,11 @@ Result<pid_t> spawn_worker(const SupervisorConfig& config, u32 shard,
   argv.push_back("--heartbeat-ms=" +
                  std::to_string(config.worker_heartbeat_ms));
   if (!quarantine.empty()) argv.push_back(quarantine_flag(quarantine));
+  // Adaptive campaigns: workers never decide anything — they follow the
+  // supervisor's published plan file.
+  if (config.campaign.planner.active()) {
+    argv.push_back("--plan=" + Supervisor::plan_path(config.dir));
+  }
 
   const std::string log_path =
       config.dir + "/shard-" + std::to_string(shard) + ".log";
@@ -324,13 +336,65 @@ Result<SupervisorResult> Supervisor::run(const SupervisorConfig& config) {
       config.max_workers == 0 ? config.shards : config.max_workers;
   const u64 refresh_ms = std::max<u64>(config.lease_ttl_ms / 3, 1);
 
+  // --- adaptive planner: supervisor-side decisions -----------------------
+  // The supervisor pools shard journals into the global record prefix and
+  // computes every stop/alloc decision exactly as an unsharded campaign
+  // would, publishing each to the plan file the workers follow.
+  const std::string ppath = plan_path(config.dir);
+  std::optional<Planner> planner;
+  std::optional<Campaign::Golden> golden;
+  std::set<u64> published_allocs;
+  std::optional<u64> plan_stop;
+  u64 plan_frontier = 0;  ///< records fed to `planner` (contiguous prefix)
+  if (config.campaign.planner.active()) {
+    if (config.campaign.workload != config.workload ||
+        config.campaign.num_injections != config.num_injections ||
+        config.campaign.seed != config.seed ||
+        config.campaign.shard_count != 1) {
+      return Status::invalid_argument(
+          "gpufi run: SupervisorConfig::campaign must mirror the unsharded "
+          "campaign (same workload / num_injections / seed, shard 0/1)");
+    }
+    auto golden_or = GoldenCache::instance().get_or_run(config.campaign);
+    if (!golden_or.is_ok()) return golden_or.status();
+    golden = std::move(golden_or).take();
+    auto planner_or = Planner::create(config.campaign, golden->profile);
+    if (!planner_or.is_ok()) return planner_or.status();
+    planner.emplace(std::move(planner_or).take());
+    if (std::filesystem::exists(ppath, ec) &&
+        std::filesystem::file_size(ppath, ec) > 0) {
+      // Resume: already-published decisions are authoritative — they were
+      // computed from the identical prefix and must not be re-derived.
+      auto existing = load_plan_file(ppath, config.campaign);
+      if (!existing.is_ok()) return existing.status();
+      for (const auto& [c, alloc] : existing.value().allocs) {
+        published_allocs.insert(c);
+      }
+      plan_stop = existing.value().stop_at;
+    } else {
+      std::ofstream out(ppath, std::ios::binary | std::ios::trunc);
+      out << plan_file_header(config.campaign) << '\n';
+      out.flush();
+      if (!out) return Status::internal("cannot create plan file " + ppath);
+    }
+  }
+
   auto journal_of = [&](u32 s) { return shard_journal_path(config.dir, s); };
   auto lease_of = [&](u32 s) {
     return lease_path_for_journal(journal_of(s));
   };
   auto shard_complete = [&](u32 s) {
-    return journaled_indices(journal_of(s)).size() >=
-           slice_size(config.num_injections, config.shards, s);
+    // A planner stop shrinks every slice: only indices below the boundary
+    // belong to the campaign (overshoot is dropped at merge).
+    const u64 effective =
+        plan_stop ? std::min<u64>(*plan_stop, config.num_injections)
+                  : config.num_injections;
+    const std::set<u64> done = journaled_indices(journal_of(s));
+    u64 in_range = 0;
+    for (u64 i : done) {
+      if (i < effective) ++in_range;
+    }
+    return in_range >= slice_size(effective, config.shards, s);
   };
 
   // Crash bookkeeping shared by "worker exited badly", "worker exited
@@ -390,6 +454,136 @@ Result<SupervisorResult> Supervisor::run(const SupervisorConfig& config) {
                                          config.backoff_cap_ms, config.seed,
                                          shard.index);
   };
+
+  // Writes the stop decision into every shard journal that does not carry
+  // one yet, so each journal matches what an unsharded stopped campaign
+  // would have recorded for that slice. A journal that was never created
+  // (or has only a torn header) is safe to synthesize fresh: the stop only
+  // fires once the whole prefix [0, at) is journaled, so that shard's slice
+  // below the boundary must be empty.
+  auto ensure_stop_journaled = [&](u64 at) -> Status {
+    PlanEvent stop;
+    stop.kind = PlanEvent::Kind::kStop;
+    stop.stop_at = at;
+    for (u32 s = 0; s < config.shards; ++s) {
+      const std::string path = journal_of(s);
+      auto loaded = Journal::load(path);
+      std::unique_ptr<JournalWriter> writer;
+      if (loaded.is_ok()) {
+        bool has_stop = false;
+        for (const PlanEvent& event : loaded.value().plan) {
+          if (event.kind == PlanEvent::Kind::kStop) has_stop = true;
+        }
+        if (has_stop) continue;
+        auto opened =
+            JournalWriter::open_append(path, loaded.value().valid_bytes);
+        if (!opened.is_ok()) return opened.status();
+        writer = std::move(opened).take();
+      } else {
+        CampaignConfig worker = config.campaign;
+        worker.shard_index = s;
+        worker.shard_count = config.shards;
+        auto created =
+            JournalWriter::create(path, make_journal_header(worker, *golden));
+        if (!created.is_ok()) return created.status();
+        writer = std::move(created).take();
+      }
+      if (Status appended = writer->append_plan(stop); !appended.is_ok()) {
+        return appended;
+      }
+    }
+    return Status::ok();
+  };
+
+  // Applies a stop decision: kill the fleet FIRST (journaling the stop
+  // truncates each journal to its valid byte count, which must not race a
+  // live worker's appends), then settle the survivors — the stop-aware
+  // shard_complete promotes them to kDone on the next pass.
+  auto apply_stop = [&](u64 at) -> Status {
+    plan_stop = at;
+    result.plan_stop = at;
+    log->event("plan_stop", {{"at", at}});
+    GFI_LOG(kInfo) << "planner: stopping rule satisfied at " << at << " of "
+                   << config.num_injections << " injections";
+    for (ShardState& shard : shards) {
+      if (shard.phase == ShardPhase::kRunning) {
+        if (shard.pid > 0) {
+          ::kill(shard.pid, SIGKILL);
+          ::waitpid(shard.pid, nullptr, 0);
+          shard.pid = -1;
+        }
+        shard.phase = ShardPhase::kPending;
+        shard.backoff_until_ms = 0;
+        (void)release_lease(lease_of(shard.index), owner);
+      }
+    }
+    return ensure_stop_journaled(at);
+  };
+
+  // One planner step per supervision cycle: pool the shard journals into
+  // the global record sequence, advance the observed prefix in strict block
+  // order, publish the allocation each frontier block needs (workers park
+  // on exactly that line), and test the stopping rule at every completed
+  // boundary — the same decision procedure, over the same prefix, as an
+  // unsharded campaign deciding locally.
+  auto planner_tick = [&]() -> Status {
+    std::map<u64, InjectionRecord> pooled;
+    for (u32 s = 0; s < config.shards; ++s) {
+      auto loaded = Journal::load(journal_of(s));
+      if (!loaded.is_ok()) continue;  // not started yet / torn header
+      for (const auto& [index, record] : loaded.value().records) {
+        pooled.emplace(index, record);
+      }
+    }
+    const u64 k = planner->checkpoint_every();
+    while (plan_frontier < config.num_injections) {
+      const u64 c = plan_frontier / k;
+      const u64 b0 = plan_frontier;
+      const u64 b1 = planner->block_end(c);
+      if (config.campaign.planner.stratify &&
+          published_allocs.find(c) == published_allocs.end()) {
+        // Publish before waiting on the block's records: no worker can
+        // produce them until the allocation is visible.
+        if (Status appended = append_plan_event(ppath, planner->make_alloc(c));
+            !appended.is_ok()) {
+          return appended;
+        }
+        published_allocs.insert(c);
+        log->event("plan_alloc", {{"ckpt", c}});
+      }
+      bool block_complete = true;
+      for (u64 i = b0; i < b1; ++i) {
+        if (pooled.find(i) == pooled.end()) {
+          block_complete = false;
+          break;
+        }
+      }
+      if (!block_complete) break;
+      for (u64 i = b0; i < b1; ++i) planner->observe(pooled.find(i)->second);
+      plan_frontier = b1;
+      if (config.campaign.planner.stopping() &&
+          b1 < config.num_injections && planner->stop_satisfied()) {
+        PlanEvent stop;
+        stop.kind = PlanEvent::Kind::kStop;
+        stop.stop_at = b1;
+        if (Status appended = append_plan_event(ppath, stop);
+            !appended.is_ok()) {
+          return appended;
+        }
+        return apply_stop(b1);
+      }
+    }
+    return Status::ok();
+  };
+
+  if (planner && plan_stop) {
+    // Resumed into a campaign the planner already stopped: re-assert the
+    // boundary before any completeness is judged.
+    result.plan_stop = *plan_stop;
+    if (Status stopped = ensure_stop_journaled(*plan_stop); !stopped.is_ok()) {
+      return stopped;
+    }
+  }
 
   while (true) {
     if (fp::enabled() &&
@@ -532,6 +726,12 @@ Result<SupervisorResult> Supervisor::run(const SupervisorConfig& config) {
           break;
         }
       }
+    }
+    if (planner && !plan_stop) {
+      if (Status ticked = planner_tick(); !ticked.is_ok()) return ticked;
+      // A stop shrinks every slice: re-judge each shard's completeness
+      // immediately instead of sleeping on stale phases.
+      if (plan_stop) continue;
     }
     if (all_settled) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(config.poll_ms));

@@ -74,6 +74,16 @@ struct SupervisorConfig {
   /// supervisor's own failpoint spec, and "" strips the variable.
   std::string worker_failpoints;
   bool resume = false;  ///< accept an existing supervisor state file
+
+  /// Unsharded mirror of the worker campaign (same workload, fault model,
+  /// seed, size, and planner knobs; shard 0/1). Consulted only when
+  /// `campaign.planner` is active: the supervisor is the one party that
+  /// sees the full global record prefix, so it computes every planner
+  /// decision itself (fi/planner.h) and publishes them to `<dir>/plan.jsonl`
+  /// for the plan-following workers. It MUST match the flags the workers
+  /// are launched with — worker journal headers are derived from it when a
+  /// stop must be recorded in a journal the worker never got to write.
+  CampaignConfig campaign;
 };
 
 struct SupervisorResult {
@@ -83,6 +93,9 @@ struct SupervisorResult {
   u64 worker_launches = 0;
   std::vector<u64> quarantined;  ///< global indices quarantined (sorted)
   u32 shards_failed = 0;         ///< shards abandoned after max attempts
+  /// Boundary where the sequential stopping rule halted the campaign
+  /// (0 = the planner never stopped it and the full budget ran).
+  u64 plan_stop = 0;
   /// Strict auto-merge of all shard journals; meaningful only when
   /// shards_failed == 0.
   MergedCampaign merged;
@@ -100,6 +113,8 @@ class Supervisor {
   static std::string shard_journal_path(const std::string& dir, u32 shard);
   /// The supervisor state journal: `<dir>/supervisor.jsonl`.
   static std::string state_path(const std::string& dir);
+  /// The published planner decisions: `<dir>/plan.jsonl`.
+  static std::string plan_path(const std::string& dir);
 };
 
 }  // namespace gfi::fi

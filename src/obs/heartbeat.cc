@@ -27,6 +27,9 @@ std::string heartbeat_line(const HeartbeatState& state) {
   jsonl::append_f64(out, "t_s", state.elapsed_s);
   jsonl::append_f64(out, "rate", state.rate);
   jsonl::append_f64(out, "eta_s", state.eta_s);
+  if (state.stop_half_width > 0.0) {
+    jsonl::append_f64(out, "stop_hw", state.stop_half_width);
+  }
   out += '}';
   return out;
 }
@@ -66,6 +69,8 @@ Result<HeartbeatState> parse_heartbeat(const std::string& line) {
   state.elapsed_s = *t_s;
   state.rate = *rate;
   state.eta_s = *eta;
+  // Absent in planner-off sidecars and older builds.
+  state.stop_half_width = jsonl::get_f64(fields, "stop_hw").value_or(0.0);
   return state;
 }
 
@@ -163,6 +168,16 @@ void HeartbeatWriter::record(int outcome_index) {
   if (since_beat_ms >= interval_ms_ || state_.done == state_.total) {
     write_line_locked(/*done_event=*/false);
   }
+}
+
+void HeartbeatWriter::idle_beat() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  const u64 since_beat_ms =
+      static_cast<u64>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                           now - last_beat_)
+                           .count());
+  if (since_beat_ms >= interval_ms_) write_line_locked(/*done_event=*/false);
 }
 
 void HeartbeatWriter::finish() {

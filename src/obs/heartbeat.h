@@ -45,6 +45,10 @@ struct HeartbeatState {
   f64 elapsed_s = 0.0;    ///< wall seconds since the shard (re)started
   f64 rate = 0.0;         ///< injections/s this session (0 until work runs)
   f64 eta_s = 0.0;        ///< remaining/rate; NaN when rate is 0
+  /// Adaptive-campaign stop target (0 when the stopping rule is off).
+  /// Serialized only when nonzero, so planner-off sidecars are unchanged;
+  /// `gpufi status` uses it to render per-outcome CI convergence.
+  f64 stop_half_width = 0.0;
   bool finished = false;  ///< last record carried ev:"done"
 };
 
@@ -87,6 +91,11 @@ class HeartbeatWriter {
   /// Counts one completed injection with the given outcome index and beats
   /// if the interval elapsed. Out-of-range indices only bump `done`.
   void record(int outcome_index);
+
+  /// Beats without counting progress, if the interval elapsed. Called by
+  /// plan-following workers while parked waiting for the supervisor, so the
+  /// stall detector can tell "waiting" from "hung".
+  void idle_beat();
 
   /// Writes the final ev:"done" record.
   void finish();

@@ -248,6 +248,95 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(stats::percentile(values, 50), 5.5);
 }
 
+TEST(Stats, PercentileClampsOutOfRangePct) {
+  // Callers passing a fraction (0.5 for the median) or an overshoot (150)
+  // get the nearest defined percentile, never an out-of-bounds read.
+  std::vector<f64> values = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(stats::percentile(values, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(values, 150.0), 4.0);
+}
+
+TEST(Stats, SampleSizeDegenerateProportionIsClamped) {
+  // p of exactly 0 or 1 used to divide by zero in the Leveugle denominator;
+  // the planner clamps p into [eps, 1-eps] and returns a sane positive n.
+  const std::size_t at_zero =
+      stats::required_sample_size(1ULL << 30, 0.01, 0.95, 0.0);
+  const std::size_t at_one =
+      stats::required_sample_size(1ULL << 30, 0.01, 0.95, 1.0);
+  EXPECT_GT(at_zero, 0u);
+  EXPECT_EQ(at_zero, at_one);  // symmetric clamp: p(1-p) identical
+  EXPECT_EQ(at_zero, stats::required_sample_size(1ULL << 30, 0.01, 0.95,
+                                                 stats::kPlannerEps));
+}
+
+TEST(Stats, ZForConfidenceAnswersArbitraryLevels) {
+  // The canonical campaign levels keep their historical 4-decimal values...
+  EXPECT_DOUBLE_EQ(stats::z_for_confidence(0.90), 1.6449);
+  EXPECT_DOUBLE_EQ(stats::z_for_confidence(0.95), 1.9600);
+  EXPECT_DOUBLE_EQ(stats::z_for_confidence(0.99), 2.5758);
+  // ...while any other level in (0, 1) goes through the inverse normal CDF
+  // instead of being silently coerced to 95%.
+  EXPECT_NEAR(stats::z_for_confidence(0.80), 1.2816, 1e-3);
+  EXPECT_NEAR(stats::z_for_confidence(0.999), 3.2905, 1e-3);
+  // Nonsense levels are rejected with NaN (poisoning downstream intervals),
+  // including the classic percent-instead-of-fraction mistake.
+  EXPECT_TRUE(std::isnan(stats::z_for_confidence(0.0)));
+  EXPECT_TRUE(std::isnan(stats::z_for_confidence(1.0)));
+  EXPECT_TRUE(std::isnan(stats::z_for_confidence(-0.5)));
+  EXPECT_TRUE(std::isnan(stats::z_for_confidence(95.0)));
+}
+
+TEST(Stats, IntervalsClampImpossibleSuccessCounts) {
+  // successes > trials (a caller bug) degrades to the p = 1 interval rather
+  // than a NaN CI that would wedge the stopping rule forever.
+  const auto wilson = stats::wilson_interval(150, 100);
+  const auto wilson_capped = stats::wilson_interval(100, 100);
+  EXPECT_DOUBLE_EQ(wilson.lo, wilson_capped.lo);
+  EXPECT_DOUBLE_EQ(wilson.hi, wilson_capped.hi);
+  const auto wald = stats::wald_interval(150, 100);
+  const auto wald_capped = stats::wald_interval(100, 100);
+  EXPECT_DOUBLE_EQ(wald.lo, wald_capped.lo);
+  EXPECT_DOUBLE_EQ(wald.hi, wald_capped.hi);
+}
+
+TEST(Stats, ApportionSumsExactlyAndBreaksTiesTowardLowIndex) {
+  EXPECT_EQ(stats::apportion({0.5, 0.3, 0.2}, 100),
+            (std::vector<u64>{50, 30, 20}));
+  // Equal remainders: the extra unit goes to the lowest index, making the
+  // allocation a pure function of (weights, total) — no tie RNG.
+  EXPECT_EQ(stats::apportion({0.5, 0.5}, 1), (std::vector<u64>{1, 0}));
+  EXPECT_EQ(stats::apportion({1.0, 1.0, 1.0}, 7),
+            (std::vector<u64>{3, 2, 2}));
+  const auto shares = stats::apportion({0.1234, 0.00001, 0.9, 0.31}, 97);
+  u64 sum = 0;
+  for (u64 share : shares) sum += share;
+  EXPECT_EQ(sum, 97u);
+}
+
+TEST(Stats, NeymanFavorsHighSpreadStrata) {
+  // Same population weight, but stratum 0 has p~0.5 (max Bernoulli spread)
+  // and stratum 1 p~0.02: Neyman allocates stratum 0 the larger share.
+  const auto weights = stats::neyman_weights({0.5, 0.5}, {50, 2}, {100, 100});
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_GT(weights[0], weights[1]);
+}
+
+TEST(Stats, PoststratifiedMatchesPooledUnderProportionalSampling) {
+  // With sampling proportional to the stratum weights, post-stratification
+  // reduces to the pooled estimate.
+  const std::vector<stats::StratumCount> strata = {{0.5, 10, 100},
+                                                   {0.5, 30, 100}};
+  EXPECT_NEAR(stats::poststratified_rate(strata), 0.2, 1e-12);
+  const auto ci = stats::poststratified_interval(strata);
+  EXPECT_LT(ci.lo, 0.2);
+  EXPECT_GT(ci.hi, 0.2);
+  // Unobserved strata drop out via weight renormalization instead of
+  // dragging the estimate toward zero.
+  const std::vector<stats::StratumCount> partial = {{0.25, 10, 100},
+                                                    {0.75, 0, 0}};
+  EXPECT_NEAR(stats::poststratified_rate(partial), 0.1, 1e-12);
+}
+
 // ----------------------------------------------------------------- table --
 
 TEST(Table, AsciiAlignsColumns) {

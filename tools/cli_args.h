@@ -9,6 +9,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <optional>
 #include <string>
@@ -65,6 +66,24 @@ inline std::optional<std::vector<u64>> parse_u64_list(const std::string& text,
     start = comma + 1;
   }
   return values;
+}
+
+/// Parses a finite floating-point value, requiring the whole string to be
+/// consumed. Rejects empty strings, whitespace, inf/nan spellings (a
+/// half-width of "inf" is never a sane campaign parameter), and trailing
+/// garbage ("0.05x").
+inline std::optional<f64> parse_f64(const std::string& text) {
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text[0]))) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno == ERANGE || end != text.c_str() + text.size() ||
+      !std::isfinite(value)) {
+    return std::nullopt;
+  }
+  return value;
 }
 
 /// A validated "--shard=i/N" value: 0 <= index < count.

@@ -60,6 +60,28 @@
 //                            Quarantined instead of executing (the
 //                            supervisor passes this to relaunched workers)
 //
+// Adaptive planner flags (campaign/run):
+//   --stop-half-width=<f>    sequential early stopping: halt at the first
+//                            checkpoint where every tracked outcome rate
+//                            (Masked/SDC/DUE) has a Wilson CI half-width
+//                            <= f (0 < f < 0.5; absolute rate units, so
+//                            0.02 means +/-2 percentage points)
+//   --stop-confidence=<f>    CI level for the stopping rule (default 0.95)
+//   --stop-min=<n>           min injections before a stop can fire
+//                            (default 100)
+//   --checkpoint-every=<n>   planner decision period K: decisions happen at
+//                            global indices K, 2K, ... (default 100)
+//   --stratify=group|none    allocate each checkpoint block across
+//                            instruction groups (Neyman reallocation from
+//                            observed per-group SDC spread) instead of
+//                            frequency-proportional sampling; reported
+//                            rates then use the post-stratified estimator
+//   --plan=<path>            (campaign; normally set by the supervisor)
+//                            follow planner decisions published to this
+//                            file instead of deciding locally — required
+//                            for sharded workers, which never see the full
+//                            record prefix
+//
 // Supervisor flags (run; campaign flags above pass through to workers):
 //   --dir=<path>             campaign directory: shard journals, leases,
 //                            supervisor state, worker logs   (required)
@@ -133,6 +155,7 @@
 #include "fi/campaign.h"
 #include "fi/golden_cache.h"
 #include "fi/journal.h"
+#include "fi/planner.h"
 #include "fi/supervisor.h"
 #include "obs/registry.h"
 #include "obs/status.h"
@@ -152,7 +175,7 @@ using namespace gfi;
 /// Bumped per stacked PR; `gpufi version` pairs it with the compiled SIMD
 /// and dispatch backends so bug reports pin down which execution path
 /// produced a journal.
-constexpr const char* kVersion = "0.9.0";
+constexpr const char* kVersion = "0.10.0";
 
 struct Options {
   std::string command;
@@ -186,6 +209,13 @@ struct Options {
   bool watch = false;
   u64 interval_s = 2;  ///< --watch poll period
   std::vector<u64> quarantine;  ///< --quarantine=i,j,... (campaign)
+  // Adaptive planner knobs (campaign/run); defaults mirror fi::PlannerConfig.
+  std::optional<f64> stop_half_width;
+  std::optional<f64> stop_confidence;
+  std::optional<u64> stop_min;
+  std::optional<u64> checkpoint_every;
+  std::string stratify = "none";
+  std::optional<std::string> plan;  ///< --plan= follow-mode file (campaign)
   bool allow_partial = false;   ///< --allow-partial (merge)
   std::optional<std::string> out;  ///< --out merged-journal path (run/merge)
   // `run` supervisor knobs (defaults mirror fi::SupervisorConfig).
@@ -535,6 +565,64 @@ std::optional<Options> parse(int argc, char** argv) {
       options.resume = true;
       continue;
     }
+    if (parse_flag(arg, "stop-half-width", &value)) {
+      auto parsed = cli::parse_f64(value);
+      if (!parsed || *parsed <= 0.0 || *parsed >= 0.5) {
+        std::fprintf(stderr,
+                     "bad --stop-half-width '%s' (want a rate in (0, 0.5), "
+                     "e.g. 0.02 for +/-2 percentage points)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.stop_half_width = *parsed;
+      continue;
+    }
+    if (parse_flag(arg, "stop-confidence", &value)) {
+      auto parsed = cli::parse_f64(value);
+      if (!parsed || *parsed <= 0.0 || *parsed >= 1.0) {
+        std::fprintf(stderr,
+                     "bad --stop-confidence '%s' (want a level in (0, 1))\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.stop_confidence = *parsed;
+      continue;
+    }
+    if (parse_flag(arg, "stop-min", &value)) {
+      auto parsed = cli::parse_u64(value);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "bad --stop-min '%s' (want a non-negative integer)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.stop_min = *parsed;
+      continue;
+    }
+    if (parse_flag(arg, "checkpoint-every", &value)) {
+      auto parsed = cli::parse_u64(value);
+      if (!parsed || *parsed == 0) {
+        std::fprintf(stderr,
+                     "bad --checkpoint-every '%s' (want a positive integer)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.checkpoint_every = *parsed;
+      continue;
+    }
+    if (parse_flag(arg, "stratify", &value)) {
+      if (value != "group" && value != "none") {
+        std::fprintf(stderr, "bad --stratify '%s' (want group|none)\n",
+                     value.c_str());
+        return std::nullopt;
+      }
+      options.stratify = value;
+      continue;
+    }
+    if (parse_flag(arg, "plan", &value)) {
+      options.plan = value;
+      continue;
+    }
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
     return std::nullopt;
   }
@@ -625,6 +713,21 @@ std::optional<fi::CampaignConfig> campaign_config(const Options& options) {
                             options.prune == "dead-bits";
   config.prune_dead_bits = options.prune == "dead-bits";
   config.quarantine = options.quarantine;
+  if (options.stop_half_width) {
+    config.planner.stop.target_half_width = *options.stop_half_width;
+  }
+  if (options.stop_confidence) {
+    config.planner.stop.confidence = *options.stop_confidence;
+  }
+  if (options.stop_min) {
+    config.planner.stop.min_samples =
+        static_cast<std::size_t>(*options.stop_min);
+  }
+  if (options.checkpoint_every) {
+    config.planner.checkpoint_every = *options.checkpoint_every;
+  }
+  config.planner.stratify = options.stratify == "group";
+  config.planner.plan_path = options.plan;
   if (options.golden_cache) {
     fi::GoldenCache::instance().set_directory(*options.golden_cache);
   }
@@ -718,6 +821,37 @@ int cmd_campaign(const Options& options) {
   std::printf("uncorrected failure rate (SDC+DUE+Hang): %s\n",
               Table::pct(analysis::uncorrected_failure_rate(result.value()))
                   .c_str());
+  if (config->planner.active()) {
+    if (config->planner.stopping()) {
+      if (result.value().effective_injections < config->num_injections) {
+        std::printf(
+            "planner: stopped at %llu of %zu injections — every tracked "
+            "outcome CI inside the ±%.2f%% target\n",
+            static_cast<unsigned long long>(
+                result.value().effective_injections),
+            config->num_injections,
+            config->planner.stop.target_half_width * 100.0);
+      } else {
+        std::printf(
+            "planner: budget exhausted at %zu injections before the ±%.2f%% "
+            "target was met everywhere\n",
+            config->num_injections,
+            config->planner.stop.target_half_width * 100.0);
+      }
+    }
+    if (config->planner.stratify) {
+      Table strat("Post-stratified rates (Neyman group allocation)");
+      strat.set_header({"outcome", "pooled", "post-stratified"});
+      for (fi::Outcome outcome : fi::planner_tracked_outcomes()) {
+        strat.add_row({fi::to_string(outcome),
+                       analysis::rate_cell(result.value(), outcome),
+                       analysis::poststratified_cell(
+                           result.value(), outcome,
+                           config->planner.stop.confidence)});
+      }
+      strat.print();
+    }
+  }
   if (config->max_retries > 0) {
     Table recovery(std::string("Recovery (max ") +
                    std::to_string(config->max_retries) + " retries, " +
@@ -771,6 +905,51 @@ std::vector<std::string> outcome_names() {
   return names;
 }
 
+/// Renders CI convergence toward the planner's stop target, pooled over the
+/// reporting shards. Silent for planner-off campaigns (no sidecar carries a
+/// stop target). The sidecar does not record the stop confidence, so the
+/// display uses the 95% default; `gpufi campaign` prints the exact verdict.
+void print_planner_status(const std::vector<obs::ShardStatus>& shards) {
+  f64 target = 0.0;
+  u64 done = 0;
+  std::vector<u64> counts;
+  for (const obs::ShardStatus& shard : shards) {
+    target = std::max(target, shard.state.stop_half_width);
+    done += shard.state.done;
+    if (counts.size() < shard.state.outcome_counts.size()) {
+      counts.resize(shard.state.outcome_counts.size(), 0);
+    }
+    for (std::size_t i = 0; i < shard.state.outcome_counts.size(); ++i) {
+      counts[i] += shard.state.outcome_counts[i];
+    }
+  }
+  if (target <= 0.0) return;
+  std::string line = "planner: target ±";
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "%.2f%%", target * 100.0);
+  line += buffer;
+  bool converged = done > 0;
+  for (fi::Outcome outcome : fi::planner_tracked_outcomes()) {
+    const auto index = static_cast<std::size_t>(outcome);
+    const u64 successes = index < counts.size() ? counts[index] : 0;
+    const auto ci = stats::wilson_interval(successes, done, 0.95);
+    const f64 half_width = done > 0 ? ci.half_width() : 1.0;
+    converged = converged && half_width <= target;
+    std::snprintf(buffer, sizeof(buffer), " | %s %.2f%% ±%.2f",
+                  fi::to_string(outcome),
+                  done > 0 ? 100.0 * static_cast<f64>(successes) /
+                                 static_cast<f64>(done)
+                           : 0.0,
+                  half_width * 100.0);
+    line += buffer;
+  }
+  std::snprintf(buffer, sizeof(buffer), " (n=%llu, %s)\n",
+                static_cast<unsigned long long>(done),
+                converged ? "converged" : "converging");
+  line += buffer;
+  std::printf("%s", line.c_str());
+}
+
 int cmd_status(const Options& options) {
   const std::vector<std::string> names = outcome_names();
   // One line of engine provenance above the shard table (not repeated per
@@ -784,6 +963,7 @@ int cmd_status(const Options& options) {
       return 1;
     }
     std::printf("%s", obs::render_status(shards.value(), names).c_str());
+    print_planner_status(shards.value());
     if (!options.watch) return 0;
     bool all_done = true;
     for (const obs::ShardStatus& shard : shards.value()) {
@@ -965,6 +1145,43 @@ int cmd_run(const Options& options, const char* argv0) {
   if (options.golden_cache) {
     config.worker_flags.push_back("--golden-cache=" + *options.golden_cache);
   }
+  // Planner flags are forwarded so worker journal headers match the
+  // unsharded adaptive campaign's byte-for-byte; the supervisor itself
+  // appends the --plan= flag that puts workers in follow mode.
+  if (options.plan) {
+    std::fprintf(stderr,
+                 "gpufi run: --plan is supervisor-owned (workers are pointed "
+                 "at <dir>/plan.jsonl automatically)\n");
+    return 2;
+  }
+  char fbuf[32];
+  if (options.stop_half_width) {
+    std::snprintf(fbuf, sizeof(fbuf), "%.17g", *options.stop_half_width);
+    config.worker_flags.push_back(std::string("--stop-half-width=") + fbuf);
+  }
+  if (options.stop_confidence) {
+    std::snprintf(fbuf, sizeof(fbuf), "%.17g", *options.stop_confidence);
+    config.worker_flags.push_back(std::string("--stop-confidence=") + fbuf);
+  }
+  if (options.stop_min) {
+    config.worker_flags.push_back("--stop-min=" +
+                                  std::to_string(*options.stop_min));
+  }
+  if (options.checkpoint_every) {
+    config.worker_flags.push_back("--checkpoint-every=" +
+                                  std::to_string(*options.checkpoint_every));
+  }
+  if (options.stratify != "none") {
+    config.worker_flags.push_back("--stratify=" + options.stratify);
+  }
+  if (options.stop_half_width || options.stratify != "none") {
+    // The supervisor needs the unsharded campaign mirror to compute planner
+    // decisions itself (it is the only party seeing the full prefix).
+    auto mirror = campaign_config(options);
+    if (!mirror) return 2;
+    mirror->journal_path.reset();
+    config.campaign = *mirror;
+  }
 
   auto ran = fi::Supervisor::run(config);
   if (!ran.is_ok()) {
@@ -979,6 +1196,11 @@ int cmd_run(const Options& options, const char* argv0) {
       static_cast<unsigned long long>(result.crashes),
       static_cast<unsigned long long>(result.stall_kills),
       static_cast<unsigned long long>(result.takeovers));
+  if (result.plan_stop > 0) {
+    std::printf("planner: stopped at %llu of %zu injections\n",
+                static_cast<unsigned long long>(result.plan_stop),
+                options.injections);
+  }
   if (!result.quarantined.empty()) {
     std::string list;
     for (u64 index : result.quarantined) {
